@@ -1,0 +1,46 @@
+"""Figure 14(e-h): the all-pairs fattree policies (ApReach, ApLen, ApVf, ApHijack).
+
+The destination edge node is a symbolic variable, so one verification run
+covers routing to *any* destination.  The paper shows the monolithic baseline
+failing even earlier here (e.g. not completing ApLen at k=4), while modular
+per-node checks stay tractable; the same shape is visible in the tables this
+module prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_modular
+from repro.harness import SweepSettings, figure14_table, sweep_fattree
+from repro.networks import build_benchmark
+
+PANELS = [
+    ("e", "reach", "ApReach"),
+    ("f", "length", "ApLen"),
+    ("g", "valley_freedom", "ApVf"),
+    ("h", "hijack", "ApHijack"),
+]
+
+
+@pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
+def test_figure14_all_pairs_panel(benchmark, panel, policy, name, bench_pods, bench_timeout, bench_jobs, capsys):
+    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    results = benchmark.pedantic(
+        lambda: sweep_fattree(policy, bench_pods, all_pairs=True, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n[Figure 14({panel})] {name}: Tp vs Ms")
+        print(figure14_table(results))
+    for point in results:
+        assert point.modular is not None and point.modular.passed
+        assert point.benchmark == name
+
+
+@pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
+def test_benchmark_modular_check(benchmark, panel, policy, name, bench_pods):
+    instance = build_benchmark(policy, bench_pods[0], all_pairs=True)
+    report = benchmark(lambda: check_modular(instance.annotated))
+    assert report.passed

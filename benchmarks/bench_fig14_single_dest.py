@@ -1,0 +1,46 @@
+"""Figure 14(a-d): the single-destination fattree policies (SpReach, SpLen, SpVf, SpHijack).
+
+For every policy the paper reports four series against the node count: the
+total Timepiece wall time, the median and 99th-percentile per-node check
+times, and the monolithic baseline's total time (with timeouts).  This module
+regenerates each panel as a printed table and records pytest-benchmark
+timings for the per-node modular checks of the smallest sweep point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_modular
+from repro.harness import SweepSettings, figure14_table, sweep_fattree
+from repro.networks import build_benchmark
+
+PANELS = [
+    ("a", "reach", "SpReach"),
+    ("b", "length", "SpLen"),
+    ("c", "valley_freedom", "SpVf"),
+    ("d", "hijack", "SpHijack"),
+]
+
+
+@pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
+def test_figure14_single_destination_panel(benchmark, panel, policy, name, bench_pods, bench_timeout, bench_jobs, capsys):
+    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    results = benchmark.pedantic(
+        lambda: sweep_fattree(policy, bench_pods, all_pairs=False, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n[Figure 14({panel})] {name}: Tp vs Ms")
+        print(figure14_table(results))
+    for point in results:
+        assert point.modular is not None and point.modular.passed
+        assert point.benchmark == name
+
+
+@pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
+def test_benchmark_modular_check(benchmark, panel, policy, name, bench_pods):
+    instance = build_benchmark(policy, bench_pods[0], all_pairs=False)
+    report = benchmark(lambda: check_modular(instance.annotated))
+    assert report.passed

@@ -1,0 +1,44 @@
+"""Figure 1: modular vs monolithic verification time as the fattree grows.
+
+The paper's Figure 1 plots Timepiece against a Minesweeper-style monolithic
+encoding for fattrees of increasing size, showing the monolithic curve
+blowing up (and timing out) while the modular curve grows gently.  This
+benchmark regenerates that series (at scaled-down sizes) and prints it as a
+table; the pytest-benchmark timings record the modular and monolithic runs
+separately for the smallest sweep point.
+"""
+
+from __future__ import annotations
+
+from repro.core import check_modular, check_monolithic
+from repro.harness import SweepSettings, scaling_comparison, scaling_table
+from repro.networks import build_benchmark
+
+
+def test_figure1_series(benchmark, bench_pods, bench_timeout, bench_jobs, capsys):
+    """Regenerate the Figure 1 data series (printed as a table)."""
+    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    results = benchmark.pedantic(
+        lambda: scaling_comparison("reach", bench_pods, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n[Figure 1] modular vs monolithic verification time (policy: reach)")
+        print(scaling_table(results))
+    for point in results:
+        assert point.modular is not None and point.modular.passed
+        assert point.monolithic is not None
+        assert point.monolithic.passed or point.monolithic.timed_out
+
+
+def test_benchmark_modular_smallest_point(benchmark, bench_pods):
+    instance = build_benchmark("reach", bench_pods[0])
+    report = benchmark(lambda: check_modular(instance.annotated))
+    assert report.passed
+
+
+def test_benchmark_monolithic_smallest_point(benchmark, bench_pods, bench_timeout):
+    instance = build_benchmark("reach", bench_pods[0])
+    report = benchmark(lambda: check_monolithic(instance.annotated, timeout=bench_timeout))
+    assert report.passed or report.timed_out

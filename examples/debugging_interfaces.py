@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Why stable-state modular checking is unsound, and how temporal interfaces fix it.
+
+This example reproduces the §2.2/§2.3 story on the running example:
+
+1. the *strawperson* procedure (one local stable-state step per node) accepts
+   interfaces that circularly justify each other and exclude the routes the
+   real network computes — so a user could wrongly conclude ``e`` never
+   receives a route from ``w``;
+2. the simulator shows those interfaces are wrong (``v`` really does hold the
+   route ⟨100, 1, true⟩);
+3. the temporal procedure rejects the same interfaces with a counterexample
+   at time 0, and still rejects the "patched" variant that adds ``∞`` — the
+   error just moves one step forward in time, exactly as the paper explains.
+
+Run with::
+
+    python examples/debugging_interfaces.py
+"""
+
+from __future__ import annotations
+
+from repro import core
+from repro.core import check_strawperson
+from repro.routing import build_running_example, simulate
+from repro.symbolic import SymBool
+
+
+def main() -> None:
+    example = build_running_example("symbolic")
+    network = example.network
+
+    spurious = lambda r: r.is_some & (r.payload.lp == 200) & ~r.payload.tag  # noqa: E731
+    no_route = lambda r: r.is_none  # noqa: E731
+
+    print("Step 1: the strawperson stable-state procedure accepts bad interfaces")
+    stable_interfaces = {
+        "n": lambda r: SymBool.true(),
+        "w": lambda r: r.is_some & (r.payload.lp == 100),
+        "v": spurious,
+        "d": spurious,
+        "e": no_route,
+    }
+    strawperson = check_strawperson(network, stable_interfaces)
+    print(f"  strawperson verdict: every node passes = {strawperson.passed}")
+    assert strawperson.passed, "the unsound procedure should accept the circular interfaces"
+
+    print("\nStep 2: but the real network violates them (simulate the closed network)")
+    closed = build_running_example("none")
+    stable = simulate(closed.network).stable_state()
+    v_route = stable["v"]
+    print(f"  the simulator computes v's stable route = lp={v_route['lp']}, "
+          f"len={v_route['len']}, tag={v_route['tag']}")
+    print("  ... which the interface 's.lp = 200 ∧ ¬s.tag' wrongly excludes.")
+
+    print("\nStep 3: the temporal procedure rejects the same interfaces (t = 0)")
+    temporal = {
+        "n": core.always_true(),
+        "w": core.globally(lambda r: r.is_some & (r.payload.lp == 100)),
+        "v": core.globally(spurious),
+        "d": core.globally(spurious),
+        "e": core.globally(no_route),
+    }
+    report = core.check_modular(core.annotate(network, temporal))
+    assert not report.passed
+    print(f"  rejected at nodes {sorted(report.failed_nodes)}")
+    print("  " + report.counterexamples()[0].describe().replace("\n", "\n  "))
+
+    print("\nStep 4: patching the interfaces with '∨ s = ∞' only moves the error to t = 1")
+    patched = dict(temporal)
+    patched["v"] = core.globally(lambda r: spurious(r) | r.is_none)
+    patched["d"] = core.globally(lambda r: spurious(r) | r.is_none)
+    patched_report = core.check_modular(core.annotate(network, patched))
+    assert not patched_report.passed
+    failure = patched_report.counterexamples()[0]
+    print(f"  still rejected at node {failure.node!r} (condition: {failure.condition}, "
+          f"time {failure.time})")
+    print("  " + failure.describe().replace("\n", "\n  "))
+    print("\nThere is no way to circumvent the temporal analysis — the interfaces must be fixed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Verify route-filtering protection against a BGP hijacker (the Hijack benchmark).
+
+A hijacker is attached to every core switch of a fattree and may announce any
+route.  The destination edge switch announces the (symbolic) internal prefix
+``p``; core switches are configured to drop hijacker routes for ``p``.  The
+property: every internal switch eventually holds a route for ``p`` that did
+not come from the hijacker.
+
+The example then *breaks* the filter (core switches accept everything from
+the hijacker) and shows the counterexample Timepiece produces.
+
+Run with::
+
+    python examples/hijack_protection.py [pods]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+from repro.core import AnnotatedNetwork, check_modular
+from repro.networks import build_benchmark
+from repro.networks.benchmarks import HIJACKER
+from repro.routing.algebra import Network
+from repro.routing.bgp import BgpPolicy
+
+
+def break_core_filter(benchmark: Any) -> AnnotatedNetwork:
+    """Rebuild the benchmark's network with the hijacker filter removed."""
+    network = benchmark.network
+    permissive = BgpPolicy()  # no guard: core switches now accept hijacked routes
+
+    def transfer_for(edge):
+        source, _target = edge
+        if source == HIJACKER:
+            return permissive.apply
+        return network.transfer_function(edge)
+
+    broken = Network(
+        topology=network.topology,
+        route_shape=network.route_shape,
+        initial_routes=network.initial_route,
+        transfer_functions=transfer_for,
+        merge=network.merge,
+        symbolics=network.symbolics,
+    )
+    annotated = benchmark.annotated
+    return AnnotatedNetwork(
+        broken,
+        interfaces={node: annotated.interface(node) for node in annotated.nodes},
+        properties={node: annotated.node_property(node) for node in annotated.nodes},
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pods", type=int, nargs="?", default=4, help="fattree pod count k (even)")
+    parser.add_argument("--jobs", type=int, default=1)
+    arguments = parser.parse_args()
+
+    benchmark = build_benchmark("hijack", arguments.pods)
+    print(f"--- {benchmark.name}, k={arguments.pods}, destination {benchmark.destination} ---")
+    report = check_modular(benchmark.annotated, jobs=arguments.jobs)
+    print("with the core filter in place: ", report.summary())
+    assert report.passed
+
+    print("\nNow removing the core switches' hijack filter ...")
+    broken = break_core_filter(benchmark)
+    broken_report = check_modular(broken, jobs=arguments.jobs)
+    print("without the filter:            ", broken_report.summary())
+    assert not broken_report.passed
+    print("\nFirst counterexample (the hijacker's announcement wins at a core switch):\n")
+    print(broken_report.counterexamples()[0].describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Timepiece reproduction: modular control plane verification via temporal invariants.
+
+A from-scratch Python reproduction of the PLDI 2023 paper.  The top-level
+subpackages are:
+
+* :mod:`repro.smt` — a self-contained finite-domain SMT solver (terms,
+  bit-blasting, CDCL SAT), standing in for Z3;
+* :mod:`repro.symbolic` — the Zen-like symbolic modelling layer (booleans,
+  bitvectors, enums, options, finite sets, records);
+* :mod:`repro.routing` — routing algebras, topologies and the synchronous
+  simulator ``σ``;
+* :mod:`repro.core` — the paper's contribution: temporal interfaces, the
+  three verification conditions, the modular checker, the monolithic
+  baseline and the (deliberately unsound) strawperson procedure;
+* :mod:`repro.config` — a Junos-inspired policy DSL and synthetic
+  Internet2-style WAN generator;
+* :mod:`repro.networks` — the evaluation's benchmark networks (fattrees,
+  WAN, ghost-state constructions); and
+* :mod:`repro.harness` — experiment sweeps and table/figure printers.
+
+Quick start::
+
+    from repro.routing import build_running_example
+    from repro import core
+
+    example = build_running_example("symbolic")
+    annotated = core.annotate(
+        example.network,
+        interfaces={...},   # per-node temporal predicates
+        properties={...},
+    )
+    report = core.check_modular(annotated)
+    assert report.passed
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["smt", "symbolic", "routing", "core", "config", "networks", "harness", "errors"]

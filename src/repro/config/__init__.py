@@ -1,0 +1,72 @@
+"""The policy-DSL frontend: parse, analyse and compile router configurations.
+
+This package stands in for the Junos-configuration + Batfish-extraction
+pipeline of the paper's wide-area-network experiment (see DESIGN.md §2).  A
+configuration written in a small Junos-inspired DSL is parsed
+(:func:`parse_config`), validated (:func:`analyze`) and compiled
+(:func:`compile_config` / :func:`load_config`) into a
+:class:`~repro.routing.algebra.Network` whose transfer functions execute the
+configured policies symbolically.  :func:`generate_wan_config` produces
+synthetic Internet2-style configurations of configurable size.
+"""
+
+from repro.config.ast import (
+    Action,
+    CommunityDecl,
+    ConfigFile,
+    MatchCondition,
+    NeighborDecl,
+    PolicyStatement,
+    PolicyTerm,
+    PrefixListDecl,
+    RouterDecl,
+)
+from repro.config.compiler import CompiledConfig, PolicyCompiler, compile_config, load_config
+from repro.config.generator import (
+    BOGON_PREFIXES,
+    BTE_COMMUNITY,
+    INTERNAL_PREFIXES,
+    PEER_CLASSES,
+    WanParameters,
+    external_name,
+    generate_wan_config,
+    internal_name,
+    peer_class,
+)
+from repro.config.lexer import Lexer, tokenize
+from repro.config.parser import Parser, parse_config
+from repro.config.semantics import ResolvedConfig, analyze
+from repro.config.tokens import Token, TokenKind
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_config",
+    "ConfigFile",
+    "CommunityDecl",
+    "PrefixListDecl",
+    "PolicyStatement",
+    "PolicyTerm",
+    "MatchCondition",
+    "Action",
+    "RouterDecl",
+    "NeighborDecl",
+    "ResolvedConfig",
+    "analyze",
+    "CompiledConfig",
+    "PolicyCompiler",
+    "compile_config",
+    "load_config",
+    "WanParameters",
+    "generate_wan_config",
+    "BTE_COMMUNITY",
+    "PEER_CLASSES",
+    "BOGON_PREFIXES",
+    "INTERNAL_PREFIXES",
+    "internal_name",
+    "external_name",
+    "peer_class",
+]

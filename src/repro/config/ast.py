@@ -1,0 +1,147 @@
+"""Abstract syntax for the routing-policy configuration language.
+
+A configuration file consists of four kinds of top-level declarations:
+
+* ``community NAME members VALUE;`` — declares a BGP community;
+* ``prefix-list NAME { N; N; ... }`` — declares a set of abstract prefixes;
+* ``policy-statement NAME { term ... }`` — declares a route policy, a list of
+  match/action terms evaluated first-match-first; and
+* ``router NAME { ... }`` — declares a router, its announced prefixes and its
+  neighbours with the import/export policies applied on each session.
+
+The AST is deliberately plain data (frozen dataclasses) so the semantic
+analyser and compiler can be tested independently of parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Line/column of the construct, for error messages."""
+
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class CommunityDecl:
+    """``community NAME members VALUE;``"""
+
+    name: str
+    value: str
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class PrefixListDecl:
+    """``prefix-list NAME { 10; 20; ... }``"""
+
+    name: str
+    prefixes: tuple[int, ...]
+    location: SourceLocation
+
+
+# -- policy statements ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchCondition:
+    """A single ``from`` condition."""
+
+    kind: str  # "community" | "prefix-list" | "prefix"
+    argument: str
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Action:
+    """A single ``then`` action."""
+
+    kind: str  # "accept" | "reject" | "set-lp" | "set-med" | "add-community"
+    #           | "remove-community" | "prepend"
+    argument: str | None
+    location: SourceLocation
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.kind in ("accept", "reject")
+
+
+@dataclass(frozen=True)
+class PolicyTerm:
+    """``term NAME { from {...} then {...} }``"""
+
+    name: str
+    matches: tuple[MatchCondition, ...]
+    actions: tuple[Action, ...]
+    location: SourceLocation
+
+    @property
+    def terminal_action(self) -> Action | None:
+        for action in self.actions:
+            if action.is_terminal:
+                return action
+        return None
+
+
+@dataclass(frozen=True)
+class PolicyStatement:
+    """``policy-statement NAME { term...; }``"""
+
+    name: str
+    terms: tuple[PolicyTerm, ...]
+    location: SourceLocation
+
+
+# -- routers -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NeighborDecl:
+    """``neighbor NAME { import POLICY; export POLICY; }``"""
+
+    name: str
+    import_policy: str | None
+    export_policy: str | None
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class RouterDecl:
+    """``router NAME { [external;] [announce prefix N;] neighbor...; }``"""
+
+    name: str
+    external: bool
+    announced_prefixes: tuple[int, ...]
+    neighbors: tuple[NeighborDecl, ...]
+    location: SourceLocation
+
+
+@dataclass
+class ConfigFile:
+    """A parsed configuration: all declarations in source order."""
+
+    communities: list[CommunityDecl] = field(default_factory=list)
+    prefix_lists: list[PrefixListDecl] = field(default_factory=list)
+    policies: list[PolicyStatement] = field(default_factory=list)
+    routers: list[RouterDecl] = field(default_factory=list)
+
+    def policy_names(self) -> list[str]:
+        return [policy.name for policy in self.policies]
+
+    def router_names(self) -> list[str]:
+        return [router.name for router in self.routers]
+
+    def statistics(self) -> dict[str, int]:
+        """Simple size metrics, reported by the WAN benchmark harness."""
+        return {
+            "communities": len(self.communities),
+            "prefix_lists": len(self.prefix_lists),
+            "policies": len(self.policies),
+            "terms": sum(len(policy.terms) for policy in self.policies),
+            "routers": len(self.routers),
+            "sessions": sum(len(router.neighbors) for router in self.routers),
+        }

@@ -1,0 +1,237 @@
+"""Synthetic Internet2-style wide-area-network configuration generator.
+
+The paper's WAN experiment verifies an isolation property ("BlockToExternal")
+on Internet2's real Junos configuration — over 100,000 lines of proprietary
+configuration with 1,552 routing policies, 10 internal routers and 253
+external peers.  Those files cannot be shipped here, so this module generates
+a *synthetic* configuration with the same structure in our policy DSL:
+
+* a configurable number of internal backbone routers, connected in a ring
+  plus chords (roughly Internet2's Abilene backbone shape);
+* a configurable number of external peers of three classes (commercial,
+  research/education and customer), each attached to one backbone router;
+* per-class import policies (bogon filtering, class community tagging, local
+  preference setting) and a shared export policy towards external peers that
+  filters routes carrying the ``BTE`` ("block to external") community; and
+* internal-mesh policies that keep communities intact.
+
+The generated text is deterministic for a given parameter set, so benchmarks
+and tests are reproducible.  The ``buggy`` flag produces a variant whose
+export policy on one session forgets the BTE filter — used to demonstrate
+counterexample reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+#: The community whose leakage the BlockToExternal property forbids.
+BTE_COMMUNITY = "BTE"
+
+PEER_CLASSES = ("commercial", "research", "customer")
+
+#: Abstract prefix numbers considered "bogons" (never valid to import).
+BOGON_PREFIXES = (250, 251, 252)
+
+#: Abstract prefix numbers owned by the backbone.
+INTERNAL_PREFIXES = (10, 11, 12, 13)
+
+
+@dataclass(frozen=True)
+class WanParameters:
+    """Size parameters of the generated WAN."""
+
+    internal_routers: int = 10
+    external_peers: int = 40
+    #: Ring chords: each internal router also connects to the router this many
+    #: positions ahead (besides its ring neighbours), giving Internet2-like
+    #: redundancy.
+    chord_stride: int = 3
+    buggy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.internal_routers < 3:
+            raise BenchmarkError("the WAN needs at least three internal routers")
+        if self.external_peers < 1:
+            raise BenchmarkError("the WAN needs at least one external peer")
+
+
+def internal_name(index: int) -> str:
+    return f"wan{index}"
+
+
+def external_name(index: int) -> str:
+    return f"peer{index}"
+
+
+def peer_class(index: int) -> str:
+    return PEER_CLASSES[index % len(PEER_CLASSES)]
+
+
+def generate_wan_config(parameters: WanParameters = WanParameters()) -> str:
+    """Generate the configuration text for the synthetic WAN."""
+    sections: list[str] = []
+    sections.append(_header(parameters))
+    sections.append(_declarations())
+    sections.append(_policies(parameters))
+    sections.append(_internal_routers(parameters))
+    return "\n".join(sections) + "\n"
+
+
+# -- pieces of the generated file -------------------------------------------------
+
+
+def _header(parameters: WanParameters) -> str:
+    return (
+        "# Synthetic Internet2-style wide-area network\n"
+        f"# internal routers: {parameters.internal_routers}, "
+        f"external peers: {parameters.external_peers}\n"
+    )
+
+
+def _declarations() -> str:
+    lines = [
+        f"community {BTE_COMMUNITY} members 65535:666;",
+        "community COMMERCIAL members 65535:100;",
+        "community RESEARCH members 65535:101;",
+        "community CUSTOMER members 65535:102;",
+        "community LOW-PRIORITY members 65535:200;",
+        "",
+        "prefix-list internal-prefixes {",
+    ]
+    lines += [f"    {prefix};" for prefix in INTERNAL_PREFIXES]
+    lines += ["}", "", "prefix-list bogons {"]
+    lines += [f"    {prefix};" for prefix in BOGON_PREFIXES]
+    lines += ["}", ""]
+    return "\n".join(lines)
+
+
+def _policies(parameters: WanParameters) -> str:
+    policies = []
+
+    # Import from an external peer, by class.
+    class_settings = {
+        "commercial": ("COMMERCIAL", 120),
+        "research": ("RESEARCH", 140),
+        "customer": ("CUSTOMER", 160),
+    }
+    for class_name, (community, preference) in class_settings.items():
+        policies.append(
+            f"""policy-statement import-from-{class_name} {{
+    term reject-bogons {{
+        from {{ prefix-list bogons; }}
+        then {{ reject; }}
+    }}
+    term reject-internal-spoof {{
+        from {{ prefix-list internal-prefixes; }}
+        then {{ reject; }}
+    }}
+    term classify {{
+        then {{
+            set local-preference {preference};
+            add community {community};
+            accept;
+        }}
+    }}
+}}"""
+        )
+
+    # Import across the internal mesh: keep everything.
+    policies.append(
+        """policy-statement import-internal {
+    term keep {
+        then { accept; }
+    }
+}"""
+    )
+
+    # Export across the internal mesh: keep everything (including BTE).
+    policies.append(
+        """policy-statement export-internal {
+    term keep {
+        then { accept; }
+    }
+}"""
+    )
+
+    # Export towards external peers: never leak BTE-tagged routes, strip the
+    # low-priority marker, accept the rest.
+    policies.append(
+        f"""policy-statement export-to-external {{
+    term block-bte {{
+        from {{ community {BTE_COMMUNITY}; }}
+        then {{ reject; }}
+    }}
+    term strip-low-priority {{
+        from {{ community LOW-PRIORITY; }}
+        then {{
+            remove community LOW-PRIORITY;
+            accept;
+        }}
+    }}
+    term announce {{
+        then {{ accept; }}
+    }}
+}}"""
+    )
+
+    # The deliberately buggy export policy (forgets the BTE filter).
+    if parameters.buggy:
+        policies.append(
+            """policy-statement export-to-external-buggy {
+    term announce {
+        then { accept; }
+    }
+}"""
+        )
+
+    # Internal routers mark some customer routes as do-not-export.
+    policies.append(
+        f"""policy-statement tag-no-export {{
+    term tag-customer-routes {{
+        from {{ community CUSTOMER; }}
+        then {{
+            add community {BTE_COMMUNITY};
+            accept;
+        }}
+    }}
+    term keep {{
+        then {{ accept; }}
+    }}
+}}"""
+    )
+
+    return "\n\n".join(policies) + "\n"
+
+
+def _internal_routers(parameters: WanParameters) -> str:
+    count = parameters.internal_routers
+    blocks: list[str] = []
+    peers_of: dict[int, list[int]] = {index: [] for index in range(count)}
+    for peer_index in range(parameters.external_peers):
+        peers_of[peer_index % count].append(peer_index)
+
+    for index in range(count):
+        lines = [f"router {internal_name(index)} {{"]
+        lines.append(f"    announce prefix {INTERNAL_PREFIXES[index % len(INTERNAL_PREFIXES)]};")
+        neighbors = {(index + 1) % count, (index - 1) % count, (index + parameters.chord_stride) % count}
+        neighbors.discard(index)
+        for neighbor in sorted(neighbors):
+            lines.append(
+                f"    neighbor {internal_name(neighbor)} "
+                "{ import import-internal; export export-internal; }"
+            )
+        for peer_index in peers_of[index]:
+            export = "export-to-external"
+            if parameters.buggy and index == 0 and peer_index == 0:
+                export = "export-to-external-buggy"
+            lines.append(
+                f"    neighbor {external_name(peer_index)} "
+                f"{{ import import-from-{peer_class(peer_index)}; export {export}; }}"
+            )
+        lines.append("}")
+        blocks.append("\n".join(lines))
+
+    return "\n\n".join(blocks) + "\n"

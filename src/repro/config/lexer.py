@@ -1,0 +1,133 @@
+"""Lexer for the routing-policy configuration language.
+
+The surface syntax is deliberately simple — braces, semicolons, identifiers
+(which may contain dashes, dots and colons, as Junos names do), numbers and
+``#``/``/* */`` comments — so the lexer is a straightforward single-pass
+scanner with precise line/column tracking for error messages.
+"""
+
+from __future__ import annotations
+
+from repro.config.tokens import Token, TokenKind
+from repro.errors import ConfigSyntaxError
+
+#: Characters allowed inside identifiers after the first character.
+_IDENTIFIER_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.:")
+
+
+class Lexer:
+    """Scans policy-DSL source text into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input, returning tokens terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == TokenKind.EOF:
+                return tokens
+
+    # -- scanning ---------------------------------------------------------------
+
+    def _peek(self) -> str:
+        if self.position >= len(self.source):
+            return ""
+        return self.source[self.position]
+
+    def _advance(self) -> str:
+        character = self.source[self.position]
+        self.position += 1
+        if character == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return character
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            character = self._peek()
+            if character in " \t\r\n":
+                self._advance()
+            elif character == "#":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif character == "/" and self.source[self.position : self.position + 2] == "/*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_column = self.line, self.column
+        self._advance()
+        self._advance()
+        while self.position < len(self.source):
+            if self.source[self.position : self.position + 2] == "*/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+        raise ConfigSyntaxError("unterminated block comment", start_line, start_column)
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        if self.position >= len(self.source):
+            return Token(TokenKind.EOF, "", line, column)
+        character = self._peek()
+        if character == "{":
+            self._advance()
+            return Token(TokenKind.LEFT_BRACE, "{", line, column)
+        if character == "}":
+            self._advance()
+            return Token(TokenKind.RIGHT_BRACE, "}", line, column)
+        if character == ";":
+            self._advance()
+            return Token(TokenKind.SEMICOLON, ";", line, column)
+        if character == '"':
+            return self._scan_string(line, column)
+        if character.isdigit():
+            return self._scan_number(line, column)
+        if character.isalpha() or character == "_":
+            return self._scan_identifier(line, column)
+        raise ConfigSyntaxError(f"unexpected character {character!r}", line, column)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        characters: list[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise ConfigSyntaxError("unterminated string literal", line, column)
+            character = self._advance()
+            if character == '"':
+                return Token(TokenKind.STRING, "".join(characters), line, column)
+            characters.append(character)
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        digits: list[str] = []
+        while self.position < len(self.source) and self._peek().isdigit():
+            digits.append(self._advance())
+        # Values such as community members ("65535:666") start with digits but
+        # continue with identifier characters; treat those as identifiers.
+        if self.position < len(self.source) and self._peek() in _IDENTIFIER_CHARS:
+            while self.position < len(self.source) and self._peek() in _IDENTIFIER_CHARS:
+                digits.append(self._advance())
+            return Token(TokenKind.IDENTIFIER, "".join(digits), line, column)
+        return Token(TokenKind.NUMBER, "".join(digits), line, column)
+
+    def _scan_identifier(self, line: int, column: int) -> Token:
+        characters = [self._advance()]
+        while self.position < len(self.source) and self._peek() in _IDENTIFIER_CHARS:
+            characters.append(self._advance())
+        return Token(TokenKind.IDENTIFIER, "".join(characters), line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,289 @@
+"""Recursive-descent parser for the routing-policy configuration language.
+
+Grammar (informally)::
+
+    config        := declaration*
+    declaration   := community | prefix-list | policy-statement | router
+    community     := "community" NAME "members" VALUE ";"
+    prefix-list   := "prefix-list" NAME "{" (NUMBER ";")* "}"
+    policy        := "policy-statement" NAME "{" term* "}"
+    term          := "term" NAME "{" ["from" "{" match* "}"] "then" "{" action* "}" "}"
+    match         := ("community" NAME | "prefix-list" NAME | "prefix" NUMBER) ";"
+    action        := "accept" ";" | "reject" ";"
+                   | "set" ("local-preference" | "med") NUMBER ";"
+                   | ("add" | "remove") "community" NAME ";"
+                   | "prepend" "as-path" NUMBER ";"
+    router        := "router" NAME "{" ["external" ";"] announce* neighbor* "}"
+    announce      := "announce" "prefix" NUMBER ";"
+    neighbor      := "neighbor" NAME "{" ["import" NAME ";"] ["export" NAME ";"] "}"
+"""
+
+from __future__ import annotations
+
+from repro.config.ast import (
+    Action,
+    CommunityDecl,
+    ConfigFile,
+    MatchCondition,
+    NeighborDecl,
+    PolicyStatement,
+    PolicyTerm,
+    PrefixListDecl,
+    RouterDecl,
+    SourceLocation,
+)
+from repro.config.lexer import tokenize
+from repro.config.tokens import Token, TokenKind
+from repro.errors import ConfigSyntaxError
+
+
+class Parser:
+    """Parses a token stream into a :class:`ConfigFile`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ConfigSyntaxError:
+        token = token or self._peek()
+        return ConfigSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: TokenKind, description: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise self._error(f"expected {description}, found {token.text or 'end of input'!r}")
+        return self._advance()
+
+    def _expect_word(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_word(word):
+            raise self._error(f"expected {word!r}, found {token.text or 'end of input'!r}")
+        return self._advance()
+
+    def _expect_name(self, description: str = "a name") -> Token:
+        return self._expect(TokenKind.IDENTIFIER, description)
+
+    def _expect_number(self, description: str = "a number") -> int:
+        token = self._expect(TokenKind.NUMBER, description)
+        return int(token.text)
+
+    def _location(self, token: Token) -> SourceLocation:
+        return SourceLocation(token.line, token.column)
+
+    # -- entry point ------------------------------------------------------------------
+
+    def parse(self) -> ConfigFile:
+        config = ConfigFile()
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.EOF:
+                return config
+            if token.is_word("community"):
+                config.communities.append(self._parse_community())
+            elif token.is_word("prefix-list"):
+                config.prefix_lists.append(self._parse_prefix_list())
+            elif token.is_word("policy-statement"):
+                config.policies.append(self._parse_policy())
+            elif token.is_word("router"):
+                config.routers.append(self._parse_router())
+            else:
+                raise self._error(
+                    f"expected a declaration (community, prefix-list, policy-statement "
+                    f"or router), found {token.text!r}"
+                )
+
+    # -- declarations -------------------------------------------------------------------
+
+    def _parse_community(self) -> CommunityDecl:
+        keyword = self._expect_word("community")
+        name = self._expect_name("a community name")
+        self._expect_word("members")
+        value = self._expect_name("a community value")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return CommunityDecl(name=name.text, value=value.text, location=self._location(keyword))
+
+    def _parse_prefix_list(self) -> PrefixListDecl:
+        keyword = self._expect_word("prefix-list")
+        name = self._expect_name("a prefix-list name")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        prefixes: list[int] = []
+        while not self._peek().kind == TokenKind.RIGHT_BRACE:
+            prefixes.append(self._expect_number("a prefix"))
+            self._expect(TokenKind.SEMICOLON, "';'")
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return PrefixListDecl(
+            name=name.text, prefixes=tuple(prefixes), location=self._location(keyword)
+        )
+
+    def _parse_policy(self) -> PolicyStatement:
+        keyword = self._expect_word("policy-statement")
+        name = self._expect_name("a policy name")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        terms: list[PolicyTerm] = []
+        while self._peek().is_word("term"):
+            terms.append(self._parse_term())
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return PolicyStatement(name=name.text, terms=tuple(terms), location=self._location(keyword))
+
+    def _parse_term(self) -> PolicyTerm:
+        keyword = self._expect_word("term")
+        name = self._expect_name("a term name")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        matches: tuple[MatchCondition, ...] = ()
+        if self._peek().is_word("from"):
+            matches = self._parse_from_block()
+        self._expect_word("then")
+        actions = self._parse_then_block()
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return PolicyTerm(
+            name=name.text, matches=matches, actions=actions, location=self._location(keyword)
+        )
+
+    def _parse_from_block(self) -> tuple[MatchCondition, ...]:
+        self._expect_word("from")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        matches: list[MatchCondition] = []
+        while self._peek().kind != TokenKind.RIGHT_BRACE:
+            matches.append(self._parse_match())
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return tuple(matches)
+
+    def _parse_match(self) -> MatchCondition:
+        token = self._peek()
+        if token.is_word("community"):
+            self._advance()
+            name = self._expect_name("a community name")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return MatchCondition("community", name.text, self._location(token))
+        if token.is_word("prefix-list"):
+            self._advance()
+            name = self._expect_name("a prefix-list name")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return MatchCondition("prefix-list", name.text, self._location(token))
+        if token.is_word("prefix"):
+            self._advance()
+            value = self._expect_number("a prefix")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return MatchCondition("prefix", str(value), self._location(token))
+        raise self._error(
+            f"expected a match condition (community, prefix-list or prefix), found {token.text!r}"
+        )
+
+    def _parse_then_block(self) -> tuple[Action, ...]:
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        actions: list[Action] = []
+        while self._peek().kind != TokenKind.RIGHT_BRACE:
+            actions.append(self._parse_action())
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return tuple(actions)
+
+    def _parse_action(self) -> Action:
+        token = self._peek()
+        if token.is_word("accept") or token.is_word("reject"):
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return Action(token.text, None, self._location(token))
+        if token.is_word("set"):
+            self._advance()
+            attribute = self._peek()
+            if attribute.is_word("local-preference"):
+                self._advance()
+                value = self._expect_number("a local-preference value")
+                self._expect(TokenKind.SEMICOLON, "';'")
+                return Action("set-lp", str(value), self._location(token))
+            if attribute.is_word("med"):
+                self._advance()
+                value = self._expect_number("a MED value")
+                self._expect(TokenKind.SEMICOLON, "';'")
+                return Action("set-med", str(value), self._location(token))
+            raise self._error(
+                f"expected 'local-preference' or 'med' after 'set', found {attribute.text!r}"
+            )
+        if token.is_word("add") or token.is_word("remove"):
+            self._advance()
+            self._expect_word("community")
+            name = self._expect_name("a community name")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return Action(f"{token.text}-community", name.text, self._location(token))
+        if token.is_word("prepend"):
+            self._advance()
+            self._expect_word("as-path")
+            count = self._expect_number("a prepend count")
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return Action("prepend", str(count), self._location(token))
+        raise self._error(f"expected an action, found {token.text!r}")
+
+    def _parse_router(self) -> RouterDecl:
+        keyword = self._expect_word("router")
+        name = self._expect_name("a router name")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        external = False
+        announced: list[int] = []
+        neighbors: list[NeighborDecl] = []
+        while self._peek().kind != TokenKind.RIGHT_BRACE:
+            token = self._peek()
+            if token.is_word("external"):
+                self._advance()
+                self._expect(TokenKind.SEMICOLON, "';'")
+                external = True
+            elif token.is_word("announce"):
+                self._advance()
+                self._expect_word("prefix")
+                announced.append(self._expect_number("a prefix"))
+                self._expect(TokenKind.SEMICOLON, "';'")
+            elif token.is_word("neighbor"):
+                neighbors.append(self._parse_neighbor())
+            else:
+                raise self._error(
+                    f"expected 'external', 'announce' or 'neighbor', found {token.text!r}"
+                )
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return RouterDecl(
+            name=name.text,
+            external=external,
+            announced_prefixes=tuple(announced),
+            neighbors=tuple(neighbors),
+            location=self._location(keyword),
+        )
+
+    def _parse_neighbor(self) -> NeighborDecl:
+        keyword = self._expect_word("neighbor")
+        name = self._expect_name("a neighbour name")
+        self._expect(TokenKind.LEFT_BRACE, "'{'")
+        import_policy: str | None = None
+        export_policy: str | None = None
+        while self._peek().kind != TokenKind.RIGHT_BRACE:
+            token = self._peek()
+            if token.is_word("import"):
+                self._advance()
+                import_policy = self._expect_name("a policy name").text
+                self._expect(TokenKind.SEMICOLON, "';'")
+            elif token.is_word("export"):
+                self._advance()
+                export_policy = self._expect_name("a policy name").text
+                self._expect(TokenKind.SEMICOLON, "';'")
+            else:
+                raise self._error(f"expected 'import' or 'export', found {token.text!r}")
+        self._expect(TokenKind.RIGHT_BRACE, "'}'")
+        return NeighborDecl(
+            name=name.text,
+            import_policy=import_policy,
+            export_policy=export_policy,
+            location=self._location(keyword),
+        )
+
+
+def parse_config(source: str) -> ConfigFile:
+    """Parse configuration text into an AST."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,128 @@
+"""Semantic analysis for parsed policy configurations.
+
+The analyser checks the well-formedness rules the compiler relies on:
+
+* community, prefix-list, policy and router names are unique;
+* every name referenced by a match condition, action, import/export clause or
+  neighbour declaration is either declared or (for neighbours) consistent
+  with being an external peer;
+* every policy term ends in a terminal action (``accept`` or ``reject``), so
+  policy evaluation is a simple first-match cascade; and
+* neighbour sessions are symmetric enough to build a topology from (an edge
+  is created for each declared session; a session declared by only one side
+  is allowed and treated as unidirectional towards the declaring side's peer).
+
+The result is a :class:`ResolvedConfig` with name-indexed tables that the
+compiler consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.ast import ConfigFile, PolicyStatement, PrefixListDecl, RouterDecl
+from repro.errors import ConfigSemanticError
+
+
+@dataclass
+class ResolvedConfig:
+    """A validated configuration with name-resolution tables."""
+
+    config: ConfigFile
+    communities: dict[str, str] = field(default_factory=dict)
+    prefix_lists: dict[str, PrefixListDecl] = field(default_factory=dict)
+    policies: dict[str, PolicyStatement] = field(default_factory=dict)
+    routers: dict[str, RouterDecl] = field(default_factory=dict)
+    #: Routers referenced as neighbours but never declared (implicit externals).
+    implicit_externals: tuple[str, ...] = ()
+
+    @property
+    def community_names(self) -> tuple[str, ...]:
+        return tuple(self.communities)
+
+    @property
+    def internal_routers(self) -> tuple[str, ...]:
+        return tuple(name for name, decl in self.routers.items() if not decl.external)
+
+    @property
+    def external_routers(self) -> tuple[str, ...]:
+        declared = tuple(name for name, decl in self.routers.items() if decl.external)
+        return declared + self.implicit_externals
+
+    @property
+    def all_nodes(self) -> tuple[str, ...]:
+        return tuple(self.routers) + self.implicit_externals
+
+    def prefixes_in_list(self, name: str) -> tuple[int, ...]:
+        return self.prefix_lists[name].prefixes
+
+
+def analyze(config: ConfigFile) -> ResolvedConfig:
+    """Validate ``config`` and build the resolution tables."""
+    resolved = ResolvedConfig(config=config)
+
+    _index_unique(resolved.communities, [(c.name, c.value) for c in config.communities], "community")
+    _index_unique(resolved.prefix_lists, [(p.name, p) for p in config.prefix_lists], "prefix-list")
+    _index_unique(resolved.policies, [(p.name, p) for p in config.policies], "policy-statement")
+    _index_unique(resolved.routers, [(r.name, r) for r in config.routers], "router")
+
+    for policy in config.policies:
+        _check_policy(policy, resolved)
+
+    implicit: list[str] = []
+    for router in config.routers:
+        for neighbor in router.neighbors:
+            if neighbor.name == router.name:
+                raise ConfigSemanticError(
+                    f"router {router.name!r} declares itself as a neighbour"
+                )
+            for policy_name in (neighbor.import_policy, neighbor.export_policy):
+                if policy_name is not None and policy_name not in resolved.policies:
+                    raise ConfigSemanticError(
+                        f"router {router.name!r} references undeclared policy {policy_name!r}"
+                    )
+            if neighbor.name not in resolved.routers and neighbor.name not in implicit:
+                implicit.append(neighbor.name)
+    resolved.implicit_externals = tuple(implicit)
+    return resolved
+
+
+def _index_unique(table: dict, entries: list[tuple[str, object]], kind: str) -> None:
+    for name, value in entries:
+        if name in table:
+            raise ConfigSemanticError(f"duplicate {kind} declaration {name!r}")
+        table[name] = value
+
+
+def _check_policy(policy: PolicyStatement, resolved: ResolvedConfig) -> None:
+    if not policy.terms:
+        raise ConfigSemanticError(f"policy-statement {policy.name!r} has no terms")
+    seen_terms: set[str] = set()
+    for term in policy.terms:
+        if term.name in seen_terms:
+            raise ConfigSemanticError(
+                f"policy-statement {policy.name!r} has duplicate term {term.name!r}"
+            )
+        seen_terms.add(term.name)
+        if term.terminal_action is None:
+            raise ConfigSemanticError(
+                f"term {term.name!r} of policy {policy.name!r} never accepts or rejects"
+            )
+        for match in term.matches:
+            if match.kind == "community" and match.argument not in resolved.communities:
+                raise ConfigSemanticError(
+                    f"term {term.name!r} of policy {policy.name!r} matches undeclared "
+                    f"community {match.argument!r}"
+                )
+            if match.kind == "prefix-list" and match.argument not in resolved.prefix_lists:
+                raise ConfigSemanticError(
+                    f"term {term.name!r} of policy {policy.name!r} matches undeclared "
+                    f"prefix-list {match.argument!r}"
+                )
+        for action in term.actions:
+            if action.kind in ("add-community", "remove-community"):
+                if action.argument not in resolved.communities:
+                    raise ConfigSemanticError(
+                        f"term {term.name!r} of policy {policy.name!r} uses undeclared "
+                        f"community {action.argument!r}"
+                    )

@@ -1,0 +1,72 @@
+"""Token definitions for the routing-policy configuration language.
+
+The language is a small, Junos-inspired DSL used to stand in for the
+Internet2 configuration files of the paper's wide-area-network experiment
+(the real files are proprietary-adjacent and require Batfish to parse; see
+DESIGN.md §2 for the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    """Lexical categories of the policy DSL."""
+
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LEFT_BRACE = "{"
+    RIGHT_BRACE = "}"
+    SEMICOLON = ";"
+    EOF = "eof"
+
+
+#: Words with special meaning.  They are lexed as identifiers and recognised
+#: by the parser, so they may still be used as names where unambiguous.
+KEYWORDS = frozenset(
+    {
+        "community",
+        "members",
+        "prefix-list",
+        "policy-statement",
+        "term",
+        "from",
+        "then",
+        "accept",
+        "reject",
+        "set",
+        "add",
+        "remove",
+        "local-preference",
+        "med",
+        "prepend",
+        "as-path",
+        "prefix",
+        "router",
+        "neighbor",
+        "import",
+        "export",
+        "announce",
+        "external",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_word(self, word: str) -> bool:
+        """True when this token is the identifier ``word``."""
+        return self.kind == TokenKind.IDENTIFIER and self.text == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,87 @@
+"""Timepiece's core: temporal interfaces and the modular verification engine.
+
+This package is the paper's primary contribution.  Users annotate a
+:class:`~repro.routing.algebra.Network` with per-node temporal interfaces and
+properties (:func:`annotate`), then discharge the initial/inductive/safety
+verification conditions per node (:func:`check_modular`) or compare against
+the Minesweeper-style monolithic baseline (:func:`check_monolithic`).
+"""
+
+from repro.core.annotations import AnnotatedNetwork, annotate
+from repro.core.checker import assert_verified, check_modular, check_node
+from repro.core.conditions import (
+    CONDITION_KINDS,
+    INDUCTIVE,
+    INITIAL,
+    SAFETY,
+    VerificationCondition,
+    inductive_condition,
+    initial_condition,
+    node_conditions,
+    safety_condition,
+)
+from repro.core.counterexample import Counterexample
+from repro.core.monolithic import check_monolithic, erased_property, stable_state_constraints
+from repro.core.results import (
+    ConditionResult,
+    ModularReport,
+    MonolithicReport,
+    NodeReport,
+    percentile,
+)
+from repro.core.strawperson import StrawpersonReport, check_strawperson
+from repro.core.temporal import (
+    StatePredicate,
+    TemporalPredicate,
+    always_false,
+    always_true,
+    finally_,
+    finally_dynamic,
+    globally,
+    lift,
+    until,
+    until_dynamic,
+)
+
+__all__ = [
+    # temporal operators
+    "TemporalPredicate",
+    "StatePredicate",
+    "globally",
+    "until",
+    "finally_",
+    "until_dynamic",
+    "finally_dynamic",
+    "always_true",
+    "always_false",
+    "lift",
+    # annotation
+    "AnnotatedNetwork",
+    "annotate",
+    # conditions
+    "VerificationCondition",
+    "initial_condition",
+    "inductive_condition",
+    "safety_condition",
+    "node_conditions",
+    "CONDITION_KINDS",
+    "INITIAL",
+    "INDUCTIVE",
+    "SAFETY",
+    # checking
+    "check_node",
+    "check_modular",
+    "assert_verified",
+    "check_monolithic",
+    "stable_state_constraints",
+    "erased_property",
+    "check_strawperson",
+    # results
+    "ConditionResult",
+    "NodeReport",
+    "ModularReport",
+    "MonolithicReport",
+    "StrawpersonReport",
+    "Counterexample",
+    "percentile",
+]

@@ -1,0 +1,123 @@
+"""Annotated networks: a network instance plus interfaces ``A`` and properties ``P``.
+
+The user of Timepiece supplies, for every node, a temporal interface (the
+inductive invariant to check) and a temporal property (the fact the
+interfaces are supposed to imply).  The :class:`AnnotatedNetwork` bundles the
+three together, validates coverage, and computes the bitvector width needed
+for the logical-time variable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import VerificationError
+from repro.routing.algebra import Network
+from repro.core.temporal import TemporalLike, TemporalPredicate, always_true, lift
+
+#: Anything accepted as a per-node annotation map.
+AnnotationMap = Mapping[str, TemporalLike] | Callable[[str], TemporalLike]
+
+
+class AnnotatedNetwork:
+    """A network together with its node interfaces and node properties."""
+
+    def __init__(
+        self,
+        network: Network,
+        interfaces: AnnotationMap,
+        properties: AnnotationMap,
+        minimum_time_width: int = 2,
+    ) -> None:
+        self.network = network
+        self._interfaces = self._materialise(interfaces, "interface")
+        self._properties = self._materialise(properties, "property")
+        self.minimum_time_width = minimum_time_width
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _materialise(
+        self, annotations: AnnotationMap, kind: str
+    ) -> dict[str, TemporalPredicate]:
+        nodes = self.network.topology.nodes
+        result: dict[str, TemporalPredicate] = {}
+        if callable(annotations):
+            for node in nodes:
+                result[node] = lift(annotations(node))
+            return result
+        missing = [node for node in nodes if node not in annotations]
+        if missing:
+            raise VerificationError(f"missing {kind} annotations for nodes {missing}")
+        unknown = [node for node in annotations if node not in nodes]
+        if unknown:
+            raise VerificationError(f"{kind} annotations given for unknown nodes {unknown}")
+        for node in nodes:
+            result[node] = lift(annotations[node])
+        return result
+
+    # -- accessors ------------------------------------------------------------------
+
+    def interface(self, node: str) -> TemporalPredicate:
+        """The interface ``A(node)``."""
+        try:
+            return self._interfaces[node]
+        except KeyError:
+            raise VerificationError(f"unknown node {node!r}") from None
+
+    def node_property(self, node: str) -> TemporalPredicate:
+        """The property ``P(node)``."""
+        try:
+            return self._properties[node]
+        except KeyError:
+            raise VerificationError(f"unknown node {node!r}") from None
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.network.topology.nodes
+
+    def max_witness_time(self) -> int:
+        """The largest witness time mentioned by any interface or property."""
+        witnesses = [predicate.max_witness for predicate in self._interfaces.values()]
+        witnesses += [predicate.max_witness for predicate in self._properties.values()]
+        return max(witnesses, default=0)
+
+    def time_width(self, delay: int = 0) -> int:
+        """Bits needed for the symbolic time variable.
+
+        The width is chosen so that ``max_witness + delay + 1`` is representable
+        without overflow; since every annotation is constant beyond its largest
+        witness, restricting ``t`` to this range is sound and complete.
+        """
+        needed = self.max_witness_time() + delay + 2
+        width = max(self.minimum_time_width, needed.bit_length())
+        return width
+
+    def with_property_as_interface(self) -> "AnnotatedNetwork":
+        """Use each node's property as its interface (the §4 starting heuristic)."""
+        return AnnotatedNetwork(
+            self.network,
+            interfaces=dict(self._properties),
+            properties=dict(self._properties),
+            minimum_time_width=self.minimum_time_width,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotatedNetwork(nodes={self.network.topology.node_count}, "
+            f"max_witness={self.max_witness_time()})"
+        )
+
+
+def annotate(
+    network: Network,
+    interfaces: AnnotationMap,
+    properties: AnnotationMap | None = None,
+) -> AnnotatedNetwork:
+    """Convenience constructor.
+
+    When ``properties`` is omitted, every node's property defaults to
+    ``G(true)`` — useful while interfaces are still being designed.
+    """
+    if properties is None:
+        properties = {node: always_true() for node in network.topology.nodes}
+    return AnnotatedNetwork(network, interfaces, properties)

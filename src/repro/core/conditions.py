@@ -1,0 +1,190 @@
+"""Encoding of the three verification conditions (Figure 12, §4).
+
+For every node ``v`` the modular checker discharges:
+
+* the **initial** condition  — ``I_v ∈ A(v)(0)``;
+* the **inductive** condition — for all times ``t`` and all neighbour routes
+  drawn from the neighbours' interfaces at ``t``, the route ``v`` computes is
+  in ``A(v)(t+1)``; and
+* the **safety** condition  — ``A(v)(t) ⊆ P(v)(t)`` for all ``t``.
+
+Each condition is encoded as a pair (assumptions, goal) of symbolic booleans
+over a fresh symbolic time variable, fresh per-neighbour routes and the
+network's own symbolic variables.  Validity of ``assumptions ⟹ goal`` is then
+decided by the SMT backend; an invalid condition yields a concrete
+:class:`~repro.core.counterexample.Counterexample`.
+
+The bounded-delay extension of §4 is supported by the ``delay`` parameter of
+the inductive condition: neighbour routes may be drawn from any of the last
+``delay + 1`` time steps and the computed route must satisfy the interface
+``delay + 1`` steps later.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import smt
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.counterexample import Counterexample
+from repro.core.results import ConditionResult
+from repro.errors import VerificationError
+from repro.symbolic import SymBV, SymBool, any_of
+
+INITIAL = "initial"
+INDUCTIVE = "inductive"
+SAFETY = "safety"
+
+CONDITION_KINDS = (INITIAL, INDUCTIVE, SAFETY)
+
+
+@dataclass
+class VerificationCondition:
+    """One encoded verification condition, ready to hand to the SMT backend."""
+
+    node: str
+    kind: str
+    assumptions: SymBool
+    goal: SymBool
+    #: The symbolic time variable, when the condition quantifies over time.
+    time: SymBV | None = None
+    #: For counterexample reporting: offset added to the reported time
+    #: (the inductive condition fails *at* ``t + 1`` when assuming time ``t``).
+    reported_time_offset: int = 0
+    #: Fresh neighbour routes assumed from the neighbours' interfaces.
+    neighbor_routes: dict[str, Any] = field(default_factory=dict)
+    #: The route computed at (or assumed for) the node itself.
+    node_route: Any = None
+    #: The network's symbolic variables (name -> symbolic value).
+    symbolics: dict[str, Any] = field(default_factory=dict)
+
+    def check(self) -> ConditionResult:
+        """Decide this condition and package the outcome."""
+        started = _time.perf_counter()
+        proof = smt.prove(self.goal.term, self.assumptions.term)
+        elapsed = _time.perf_counter() - started
+        if proof.valid:
+            return ConditionResult(self.node, self.kind, True, elapsed)
+        model = proof.counterexample
+        assert model is not None
+        counterexample = Counterexample(
+            node=self.node,
+            condition=self.kind,
+            time=(
+                int(self.time.eval(model)) + self.reported_time_offset
+                if self.time is not None
+                else (0 if self.kind == INITIAL else None)
+            ),
+            neighbor_routes={
+                neighbor: route.eval(model) for neighbor, route in self.neighbor_routes.items()
+            },
+            route=self.node_route.eval(model) if self.node_route is not None else None,
+            symbolics={name: value.eval(model) for name, value in self.symbolics.items()},
+        )
+        return ConditionResult(self.node, self.kind, False, elapsed, counterexample)
+
+
+def _network_symbolics(annotated: AnnotatedNetwork) -> tuple[SymBool, dict[str, Any]]:
+    """The conjunction of symbolic-variable preconditions and the value map."""
+    assumptions = annotated.network.symbolic_constraints()
+    values = {symbolic.name: symbolic.value for symbolic in annotated.network.symbolics}
+    return assumptions, values
+
+
+def initial_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCondition:
+    """``I_v ∈ A(v)(0)`` (equation 5)."""
+    network = annotated.network
+    width = annotated.time_width()
+    assumptions, symbolics = _network_symbolics(annotated)
+    initial_route = network.initial_route(node)
+    zero = SymBV.constant(0, width)
+    goal = annotated.interface(node)(initial_route, zero)
+    return VerificationCondition(
+        node=node,
+        kind=INITIAL,
+        assumptions=assumptions,
+        goal=goal,
+        node_route=initial_route,
+        symbolics=symbolics,
+    )
+
+
+def inductive_condition(
+    annotated: AnnotatedNetwork, node: str, delay: int = 0
+) -> VerificationCondition:
+    """The inductive condition (equation 6), optionally with bounded delay."""
+    if delay < 0:
+        raise VerificationError(f"delay must be non-negative, got {delay}")
+    network = annotated.network
+    width = annotated.time_width(delay)
+    assumptions, symbolics = _network_symbolics(annotated)
+
+    time_variable = SymBV.fresh(width, f"time.{node}")
+    # Keep t small enough that t + delay + 1 cannot wrap around.  Because every
+    # annotation is constant beyond its largest witness time, this bound loses
+    # no generality (see DESIGN.md §5).
+    max_time = (1 << width) - 1
+    assumptions = assumptions & (time_variable <= max_time - delay - 1)
+
+    neighbor_routes: dict[str, Any] = {}
+    for neighbor in network.topology.predecessors(node):
+        route = network.route_shape.fresh(f"route.{neighbor}.to.{node}")
+        neighbor_routes[neighbor] = route
+        assumptions = assumptions & network.route_shape.constraint(route)
+        interface = annotated.interface(neighbor)
+        # With delay d, the route may have been sent at any of t, t+1, ..., t+d.
+        sent_at_some_step = any_of(
+            interface(route, time_variable + step) for step in range(delay + 1)
+        )
+        assumptions = assumptions & sent_at_some_step
+
+    new_route = network.updated_route(node, neighbor_routes)
+    goal = annotated.interface(node)(new_route, time_variable + (delay + 1))
+
+    return VerificationCondition(
+        node=node,
+        kind=INDUCTIVE,
+        assumptions=assumptions,
+        goal=goal,
+        time=time_variable,
+        reported_time_offset=delay + 1,
+        neighbor_routes=neighbor_routes,
+        node_route=new_route,
+        symbolics=symbolics,
+    )
+
+
+def safety_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCondition:
+    """``A(v)(t) ⊆ P(v)(t)`` for all times ``t`` (equation 7)."""
+    network = annotated.network
+    width = annotated.time_width()
+    assumptions, symbolics = _network_symbolics(annotated)
+
+    time_variable = SymBV.fresh(width, f"time.{node}")
+    route = network.route_shape.fresh(f"route.{node}")
+    assumptions = assumptions & network.route_shape.constraint(route)
+    assumptions = assumptions & annotated.interface(node)(route, time_variable)
+    goal = annotated.node_property(node)(route, time_variable)
+
+    return VerificationCondition(
+        node=node,
+        kind=SAFETY,
+        assumptions=assumptions,
+        goal=goal,
+        time=time_variable,
+        node_route=route,
+        symbolics=symbolics,
+    )
+
+
+def node_conditions(
+    annotated: AnnotatedNetwork, node: str, delay: int = 0
+) -> list[VerificationCondition]:
+    """All three verification conditions for ``node``."""
+    return [
+        initial_condition(annotated, node),
+        inductive_condition(annotated, node, delay=delay),
+        safety_condition(annotated, node),
+    ]

@@ -1,0 +1,79 @@
+"""Process-pool execution of per-node checks.
+
+Node checks share no state, so they parallelise trivially.  Annotated
+networks hold closures (transfer functions, interfaces) that are not
+picklable in general, so instead of shipping the network to worker processes
+we rely on ``fork``: the annotated network is stashed in a module-level slot
+before the pool is created, every forked worker inherits it, and only the
+node name travels over the queue.  The returned :class:`NodeReport` objects
+contain plain data and pickle fine.
+
+On platforms without ``fork`` (or when anything goes wrong while setting up
+the pool) the checker silently degrades to sequential execution — the results
+are identical, only the wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Sequence
+
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.results import NodeReport
+
+# The network being checked by the current pool; inherited by forked workers.
+_ACTIVE_NETWORK: AnnotatedNetwork | None = None
+_ACTIVE_OPTIONS: dict | None = None
+
+
+def _check_one(node: str) -> NodeReport:
+    """Worker entry point: check a single node of the inherited network."""
+    from repro.core.checker import check_node
+
+    assert _ACTIVE_NETWORK is not None and _ACTIVE_OPTIONS is not None
+    return check_node(
+        _ACTIVE_NETWORK,
+        node,
+        delay=_ACTIVE_OPTIONS["delay"],
+        conditions=_ACTIVE_OPTIONS["conditions"],
+        fail_fast=_ACTIVE_OPTIONS["fail_fast"],
+    )
+
+
+def check_nodes_in_parallel(
+    annotated: AnnotatedNetwork,
+    nodes: Sequence[str],
+    delay: int,
+    jobs: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+) -> list[NodeReport]:
+    """Check ``nodes`` using up to ``jobs`` forked worker processes."""
+    global _ACTIVE_NETWORK, _ACTIVE_OPTIONS
+    from repro.core.checker import check_node
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = None
+
+    if context is None or jobs <= 1 or len(nodes) <= 1:
+        return [
+            check_node(annotated, node, delay=delay, conditions=conditions, fail_fast=fail_fast)
+            for node in nodes
+        ]
+
+    _ACTIVE_NETWORK = annotated
+    _ACTIVE_OPTIONS = {"delay": delay, "conditions": tuple(conditions), "fail_fast": fail_fast}
+    try:
+        with context.Pool(processes=min(jobs, len(nodes))) as pool:
+            return pool.map(_check_one, nodes)
+    except Exception:
+        # Fall back to sequential checking rather than failing the run.
+        return [
+            check_node(annotated, node, delay=delay, conditions=conditions, fail_fast=fail_fast)
+            for node in nodes
+        ]
+    finally:
+        _ACTIVE_NETWORK = None
+        _ACTIVE_OPTIONS = None

@@ -1,0 +1,145 @@
+"""Result types and timing statistics for the modular checker.
+
+The paper reports, for every benchmark, the total wall-clock time of the
+modular run, the median per-node check time, the 99th-percentile per-node
+check time and the monolithic baseline's total time.  The classes here carry
+exactly those numbers so the benchmark harness can print Figure 14-style
+rows directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.counterexample import Counterexample
+
+
+@dataclass
+class ConditionResult:
+    """Outcome of one verification condition at one node."""
+
+    node: str
+    condition: str  # "initial" | "inductive" | "safety"
+    holds: bool
+    duration: float
+    counterexample: Counterexample | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+@dataclass
+class NodeReport:
+    """Outcome of all conditions checked at one node."""
+
+    node: str
+    results: list[ConditionResult]
+    duration: float
+
+    @property
+    def passed(self) -> bool:
+        return all(result.holds for result in self.results)
+
+    @property
+    def failures(self) -> list[ConditionResult]:
+        return [result for result in self.results if not result.holds]
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"node {self.node!r}: {status} in {self.duration:.3f}s"]
+        for failure in self.failures:
+            if failure.counterexample is not None:
+                lines.append(failure.counterexample.describe())
+        return "\n".join(lines)
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The ``fraction`` percentile (nearest-rank) of a non-empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class ModularReport:
+    """Outcome of a whole modular verification run."""
+
+    node_reports: dict[str, NodeReport]
+    wall_time: float
+    parallelism: int = 1
+
+    @property
+    def passed(self) -> bool:
+        return all(report.passed for report in self.node_reports.values())
+
+    @property
+    def failed_nodes(self) -> list[str]:
+        return [node for node, report in self.node_reports.items() if not report.passed]
+
+    @property
+    def node_times(self) -> list[float]:
+        return [report.duration for report in self.node_reports.values()]
+
+    @property
+    def total_node_time(self) -> float:
+        """Sum of per-node check times (the sequential cost)."""
+        return sum(self.node_times)
+
+    @property
+    def median_node_time(self) -> float:
+        return percentile(self.node_times, 0.5)
+
+    @property
+    def p99_node_time(self) -> float:
+        return percentile(self.node_times, 0.99)
+
+    @property
+    def max_node_time(self) -> float:
+        return max(self.node_times, default=0.0)
+
+    def counterexamples(self) -> list[Counterexample]:
+        examples: list[Counterexample] = []
+        for report in self.node_reports.values():
+            for result in report.results:
+                if result.counterexample is not None:
+                    examples.append(result.counterexample)
+        return examples
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"FAIL ({len(self.failed_nodes)} nodes)"
+        return (
+            f"modular check: {status}; wall {self.wall_time:.2f}s over "
+            f"{len(self.node_reports)} nodes (median {self.median_node_time:.3f}s, "
+            f"p99 {self.p99_node_time:.3f}s, max {self.max_node_time:.3f}s, "
+            f"jobs={self.parallelism})"
+        )
+
+
+@dataclass
+class MonolithicReport:
+    """Outcome of the Minesweeper-style monolithic baseline."""
+
+    passed: bool
+    wall_time: float
+    timed_out: bool = False
+    counterexample: dict[str, object] | None = None
+    symbolics: dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if self.timed_out:
+            return f"monolithic check: TIMEOUT after {self.wall_time:.2f}s"
+        status = "PASS" if self.passed else "FAIL"
+        return f"monolithic check: {status} in {self.wall_time:.2f}s"
+
+
+def merge_reports(reports: Iterable[NodeReport], wall_time: float, parallelism: int) -> ModularReport:
+    """Assemble a :class:`ModularReport` from per-node reports."""
+    return ModularReport(
+        node_reports={report.node: report for report in reports},
+        wall_time=wall_time,
+        parallelism=parallelism,
+    )

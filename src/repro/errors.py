@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Keeping all exception types in one module makes it easy for callers to catch
+"anything this library raised" (:class:`ReproError`) while still allowing the
+individual subsystems to signal precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SortError(ReproError):
+    """An SMT term was built from arguments of the wrong sort."""
+
+
+class TermError(ReproError):
+    """An SMT term was constructed with malformed arguments."""
+
+
+class SolverError(ReproError):
+    """The SMT or SAT solver was used incorrectly (e.g. model before check)."""
+
+
+class SymbolicError(ReproError):
+    """A symbolic value (the Zen-like layer) was used incorrectly."""
+
+
+class RoutingError(ReproError):
+    """A routing algebra, topology or simulation was constructed incorrectly."""
+
+
+class VerificationError(ReproError):
+    """The Timepiece verification engine was driven incorrectly."""
+
+
+class ConfigSyntaxError(ReproError):
+    """The policy-DSL frontend rejected a configuration file."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ConfigSemanticError(ReproError):
+    """The policy-DSL frontend rejected a well-formed but meaningless config."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark network or experiment harness was misconfigured."""

@@ -1,0 +1,33 @@
+"""The experiment harness: sweeps, result records, table printers, CLI."""
+
+from repro.harness.runner import (
+    ExperimentResult,
+    SweepSettings,
+    run_point,
+    scaling_comparison,
+    sweep_fattree,
+    sweep_wan,
+)
+from repro.harness.tables import (
+    figure14_table,
+    format_table,
+    ghost_state_table,
+    internet2_table,
+    lines_of_code_table,
+    scaling_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SweepSettings",
+    "run_point",
+    "sweep_fattree",
+    "sweep_wan",
+    "scaling_comparison",
+    "format_table",
+    "scaling_table",
+    "figure14_table",
+    "internet2_table",
+    "ghost_state_table",
+    "lines_of_code_table",
+]

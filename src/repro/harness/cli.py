@@ -1,0 +1,108 @@
+"""Command-line entry point (``timepiece-bench``) for the experiment harness.
+
+Examples::
+
+    timepiece-bench figure1 --pods 4 8 --timeout 60
+    timepiece-bench figure14 --policy reach --pods 4 8 12
+    timepiece-bench figure14 --policy hijack --all-pairs --pods 4
+    timepiece-bench internet2 --peers 20 40 --timeout 120
+    timepiece-bench table1
+    timepiece-bench table2
+
+Every subcommand prints the corresponding table from the paper's evaluation
+(scaled-down defaults; pass larger ``--pods``/``--peers`` and ``--timeout``
+values to push further).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.harness.runner import SweepSettings, scaling_comparison, sweep_fattree, sweep_wan
+from repro.harness.tables import (
+    figure14_table,
+    ghost_state_table,
+    internet2_table,
+    lines_of_code_table,
+    scaling_table,
+)
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="timepiece-bench",
+        description="Regenerate the tables and figures of the Timepiece evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = subparsers.add_parser("figure1", help="modular vs monolithic scaling comparison")
+    _add_sweep_arguments(figure1)
+    figure1.add_argument("--policy", default="reach", help="fattree policy to sweep (default: reach)")
+
+    figure14 = subparsers.add_parser("figure14", help="one Figure 14 panel (a policy sweep)")
+    _add_sweep_arguments(figure14)
+    figure14.add_argument("--policy", default="reach", help="reach | length | valley_freedom | hijack")
+    figure14.add_argument("--all-pairs", action="store_true", help="use the symbolic-destination variant")
+
+    internet2 = subparsers.add_parser("internet2", help="the BlockToExternal WAN experiment")
+    internet2.add_argument("--peers", type=int, nargs="+", default=[20, 40])
+    internet2.add_argument("--internal", type=int, default=10)
+    internet2.add_argument("--timeout", type=float, default=60.0)
+    internet2.add_argument("--jobs", type=int, default=1)
+    internet2.add_argument("--skip-monolithic", action="store_true")
+
+    subparsers.add_parser("table1", help="ghost state per property (Table 1)")
+    subparsers.add_parser("table2", help="lines of code per benchmark (Table 2)")
+    return parser
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pods", type=int, nargs="+", default=[4, 8], help="fattree pod counts k")
+    parser.add_argument("--timeout", type=float, default=60.0, help="monolithic timeout in seconds")
+    parser.add_argument("--jobs", type=int, default=1, help="parallel workers for modular checks")
+    parser.add_argument("--skip-monolithic", action="store_true", help="only run the modular checks")
+
+
+def _settings(arguments: argparse.Namespace) -> SweepSettings:
+    return SweepSettings(
+        monolithic_timeout=arguments.timeout,
+        jobs=arguments.jobs,
+        run_monolithic=not arguments.skip_monolithic,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    arguments = build_argument_parser().parse_args(argv)
+
+    if arguments.command == "figure1":
+        results = scaling_comparison(arguments.policy, arguments.pods, settings=_settings(arguments))
+        print(scaling_table(results))
+    elif arguments.command == "figure14":
+        results = sweep_fattree(
+            arguments.policy,
+            arguments.pods,
+            all_pairs=arguments.all_pairs,
+            settings=_settings(arguments),
+        )
+        print(figure14_table(results))
+    elif arguments.command == "internet2":
+        results = sweep_wan(
+            arguments.peers,
+            internal_routers=arguments.internal,
+            settings=SweepSettings(
+                monolithic_timeout=arguments.timeout,
+                jobs=arguments.jobs,
+                run_monolithic=not arguments.skip_monolithic,
+            ),
+        )
+        print(internet2_table(results))
+    elif arguments.command == "table1":
+        print(ghost_state_table())
+    elif arguments.command == "table2":
+        print(lines_of_code_table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

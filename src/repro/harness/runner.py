@@ -1,0 +1,182 @@
+"""Experiment runner: sweeps, timing collection and result records.
+
+The harness turns the paper's evaluation into reproducible parameter sweeps.
+An :class:`ExperimentResult` captures one (benchmark, size) point with the
+four numbers the paper reports — Timepiece total wall time, per-node median
+and 99th percentile, and the monolithic baseline's total time (or timeout) —
+and the sweep functions return lists of such points, which
+:mod:`repro.harness.tables` renders into the rows/series of Figures 1 and 14
+and the Internet2 paragraph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core import check_modular, check_monolithic
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.results import ModularReport, MonolithicReport
+from repro.errors import BenchmarkError
+from repro.networks.benchmarks import FattreeBenchmark, build_benchmark
+from repro.networks.wan import WanBenchmark, build_wan_benchmark
+from repro.config.generator import WanParameters
+
+
+@dataclass
+class ExperimentResult:
+    """One data point of an experiment sweep."""
+
+    experiment: str
+    benchmark: str
+    #: Topology size in nodes (the x-axis of Figures 1 and 14).
+    nodes: int
+    #: Extra parameters of this point (e.g. the fattree pod count ``k``).
+    parameters: dict[str, object] = field(default_factory=dict)
+    modular: ModularReport | None = None
+    monolithic: MonolithicReport | None = None
+
+    @property
+    def modular_wall_time(self) -> float | None:
+        return self.modular.wall_time if self.modular is not None else None
+
+    @property
+    def modular_median(self) -> float | None:
+        return self.modular.median_node_time if self.modular is not None else None
+
+    @property
+    def modular_p99(self) -> float | None:
+        return self.modular.p99_node_time if self.modular is not None else None
+
+    @property
+    def monolithic_wall_time(self) -> float | None:
+        if self.monolithic is None:
+            return None
+        return self.monolithic.wall_time
+
+    @property
+    def monolithic_timed_out(self) -> bool:
+        return self.monolithic is not None and self.monolithic.timed_out
+
+    def as_row(self) -> dict[str, object]:
+        """A flat dictionary used by the table printers."""
+        return {
+            "experiment": self.experiment,
+            "benchmark": self.benchmark,
+            "nodes": self.nodes,
+            **self.parameters,
+            "tp_total_s": _rounded(self.modular_wall_time),
+            "tp_median_s": _rounded(self.modular_median),
+            "tp_p99_s": _rounded(self.modular_p99),
+            "tp_pass": None if self.modular is None else self.modular.passed,
+            "ms_total_s": _rounded(self.monolithic_wall_time),
+            "ms_outcome": self._monolithic_outcome(),
+        }
+
+    def _monolithic_outcome(self) -> str:
+        if self.monolithic is None:
+            return "skipped"
+        if self.monolithic.timed_out:
+            return "timeout"
+        return "pass" if self.monolithic.passed else "fail"
+
+
+def _rounded(value: float | None) -> float | None:
+    return None if value is None else round(value, 3)
+
+
+@dataclass
+class SweepSettings:
+    """Settings shared by the sweep helpers."""
+
+    #: Wall-clock budget for each monolithic check (the paper used 2 hours).
+    monolithic_timeout: float = 60.0
+    #: Process count for modular checks (1 = sequential).
+    jobs: int = 1
+    #: Skip the monolithic baseline entirely (for quick modular-only sweeps).
+    run_monolithic: bool = True
+    #: Skip the modular run (for monolithic-only ablations).
+    run_modular: bool = True
+
+
+def run_point(
+    experiment: str,
+    benchmark_name: str,
+    annotated: AnnotatedNetwork,
+    nodes: int,
+    settings: SweepSettings,
+    parameters: dict[str, object] | None = None,
+) -> ExperimentResult:
+    """Run one (benchmark, size) point with the given settings."""
+    result = ExperimentResult(
+        experiment=experiment,
+        benchmark=benchmark_name,
+        nodes=nodes,
+        parameters=dict(parameters or {}),
+    )
+    if settings.run_modular:
+        result.modular = check_modular(annotated, jobs=settings.jobs)
+    if settings.run_monolithic:
+        result.monolithic = check_monolithic(annotated, timeout=settings.monolithic_timeout)
+    return result
+
+
+def sweep_fattree(
+    policy: str,
+    pod_counts: Sequence[int],
+    all_pairs: bool = False,
+    settings: SweepSettings | None = None,
+    experiment: str = "figure14",
+) -> list[ExperimentResult]:
+    """Sweep one fattree benchmark over a list of pod counts ``k``."""
+    settings = settings or SweepSettings()
+    results: list[ExperimentResult] = []
+    for pods in pod_counts:
+        benchmark: FattreeBenchmark = build_benchmark(policy, pods, all_pairs=all_pairs)
+        results.append(
+            run_point(
+                experiment,
+                benchmark.name,
+                benchmark.annotated,
+                nodes=benchmark.node_count,
+                settings=settings,
+                parameters={"pods": pods},
+            )
+        )
+    return results
+
+
+def sweep_wan(
+    peer_counts: Sequence[int],
+    internal_routers: int = 10,
+    settings: SweepSettings | None = None,
+    experiment: str = "internet2",
+) -> list[ExperimentResult]:
+    """Sweep the BlockToExternal benchmark over external-peer counts."""
+    settings = settings or SweepSettings()
+    results: list[ExperimentResult] = []
+    for peers in peer_counts:
+        benchmark: WanBenchmark = build_wan_benchmark(
+            WanParameters(internal_routers=internal_routers, external_peers=peers)
+        )
+        results.append(
+            run_point(
+                experiment,
+                benchmark.name,
+                benchmark.annotated,
+                nodes=benchmark.node_count,
+                settings=settings,
+                parameters={"internal": internal_routers, "external": peers},
+            )
+        )
+    return results
+
+
+def scaling_comparison(
+    policy: str,
+    pod_counts: Sequence[int],
+    settings: SweepSettings | None = None,
+) -> list[ExperimentResult]:
+    """The Figure 1 sweep: modular vs monolithic time as the fattree grows."""
+    return sweep_fattree(policy, pod_counts, all_pairs=False, settings=settings, experiment="figure1")

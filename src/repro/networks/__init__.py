@@ -1,0 +1,68 @@
+"""Benchmark networks: fattrees (Reach/Len/Vf/Hijack), the synthetic WAN and
+ghost-state constructions.
+
+These are the networks of the paper's evaluation (§6).  Each builder returns
+an :class:`~repro.core.annotations.AnnotatedNetwork` complete with the
+interfaces and properties described in the paper, ready for
+:func:`repro.core.check_modular` / :func:`repro.core.check_monolithic`.
+"""
+
+from repro.networks.benchmarks import (
+    COMPACT_WIDTHS,
+    DOWN_COMMUNITY,
+    FATTREE_DIAMETER,
+    HIJACKER,
+    POLICIES,
+    FattreeBenchmark,
+    build_benchmark,
+    build_hijack,
+    build_length,
+    build_reach,
+    build_valley_freedom,
+)
+from repro.networks.fattree import (
+    AGGREGATION,
+    CORE,
+    EDGE,
+    Fattree,
+    FattreeNode,
+    fattree_size,
+    pods_for_node_budget,
+)
+from repro.networks.ghost import (
+    GhostStateRow,
+    ghost_state_catalog,
+    no_transit_network,
+    reachability_from_destination,
+    unordered_waypoint_network,
+)
+from repro.networks.wan import WanBenchmark, block_to_external_predicate, build_wan_benchmark
+
+__all__ = [
+    "Fattree",
+    "FattreeNode",
+    "fattree_size",
+    "pods_for_node_budget",
+    "CORE",
+    "AGGREGATION",
+    "EDGE",
+    "FattreeBenchmark",
+    "build_benchmark",
+    "build_reach",
+    "build_length",
+    "build_valley_freedom",
+    "build_hijack",
+    "POLICIES",
+    "COMPACT_WIDTHS",
+    "FATTREE_DIAMETER",
+    "DOWN_COMMUNITY",
+    "HIJACKER",
+    "WanBenchmark",
+    "build_wan_benchmark",
+    "block_to_external_predicate",
+    "GhostStateRow",
+    "ghost_state_catalog",
+    "reachability_from_destination",
+    "unordered_waypoint_network",
+    "no_transit_network",
+]

@@ -1,0 +1,61 @@
+"""The routing-algebra substrate: topologies, network instances, simulation.
+
+This package models what the paper calls a *network instance*
+``N = (G, S, I, F, ⊕)`` and provides the synchronous simulator ``σ`` used to
+state soundness and completeness, plus concrete algebras (simple
+shortest-path / reachability algebras, the §2 running example and an
+eBGP-style algebra following Table 3).
+"""
+
+from repro.routing.algebra import MergeFunction, Network, SymbolicVariable, TransferFunction
+from repro.routing.bgp import (
+    BgpPolicy,
+    BgpRouteFamily,
+    ORIGIN_TYPE,
+    bgp_better,
+    bgp_merge,
+    bgp_route_family,
+    drop_all_policy,
+    identity_policy,
+)
+from repro.routing.simple import (
+    RunningExample,
+    build_running_example,
+    option_min_merge,
+    reachability_network,
+    running_example_merge,
+    running_example_route_shape,
+    shortest_path_network,
+)
+from repro.routing.simulation import SimulationTrace, simulate, stable_routes
+from repro.routing.topology import Edge, Topology, path_topology, ring_topology, star_topology
+
+__all__ = [
+    "Network",
+    "SymbolicVariable",
+    "TransferFunction",
+    "MergeFunction",
+    "Topology",
+    "Edge",
+    "path_topology",
+    "ring_topology",
+    "star_topology",
+    "SimulationTrace",
+    "simulate",
+    "stable_routes",
+    "RunningExample",
+    "build_running_example",
+    "running_example_merge",
+    "running_example_route_shape",
+    "reachability_network",
+    "shortest_path_network",
+    "option_min_merge",
+    "BgpPolicy",
+    "BgpRouteFamily",
+    "ORIGIN_TYPE",
+    "bgp_better",
+    "bgp_merge",
+    "bgp_route_family",
+    "identity_policy",
+    "drop_all_policy",
+]

@@ -1,0 +1,281 @@
+"""An eBGP-style routing algebra matching Table 3 of the paper.
+
+Routes are optional records with the fields the paper models in SMT:
+
+==========================  =======================================
+Route field                 Modelled type
+==========================  =======================================
+``prefix``                  bitvector (an abstract IPv4 prefix id)
+``ad``                      bitvector (administrative distance)
+``lp``                      bitvector (eBGP local preference)
+``med``                     bitvector (multi-exit discriminator)
+``origin``                  enum {igp, egp, incomplete}
+``as_path_length``          bitvector (saturating counter)
+``communities``             finite set of community strings
+==========================  =======================================
+
+Benchmarks may add extra *ghost* fields (e.g. the Hijack benchmark's
+``external`` tag) simply by passing ``ghost_fields``.
+
+The merge function implements the standard eBGP decision process restricted
+to these fields: prefer any route over none, then lower administrative
+distance, higher local preference, shorter AS path, better origin and lower
+MED.  Transfer-function construction is factored into a small combinator
+(:class:`BgpPolicy`) that the fattree and WAN benchmarks, as well as the
+policy-DSL compiler, all reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import RoutingError
+from repro.routing.simple import option_min_merge
+from repro.symbolic import (
+    BitVecShape,
+    BoolShape,
+    EnumShape,
+    EnumType,
+    OptionShape,
+    RecordShape,
+    SetShape,
+    Shape,
+    SymBool,
+    SymOption,
+)
+
+#: The BGP origin attribute, ordered from most to least preferred.
+ORIGIN_TYPE = EnumType("Origin", ("igp", "egp", "incomplete"))
+
+#: Default attribute values used when a policy does not override them.
+DEFAULT_LOCAL_PREFERENCE = 100
+DEFAULT_ADMIN_DISTANCE = 20
+
+
+@dataclass(frozen=True)
+class BgpRouteFamily:
+    """The shapes describing one BGP route type (payload and optional route)."""
+
+    payload: RecordShape
+    route: OptionShape
+    communities: tuple[str, ...]
+
+    def default_announcement(
+        self,
+        prefix: int = 0,
+        lp: int = DEFAULT_LOCAL_PREFERENCE,
+        communities: Iterable[str] = (),
+        **ghost_values: Any,
+    ) -> dict[str, Any]:
+        """A concrete route value suitable for ``OptionShape.some``/``constant``."""
+        values: dict[str, Any] = {
+            "prefix": prefix,
+            "ad": DEFAULT_ADMIN_DISTANCE,
+            "lp": lp,
+            "med": 0,
+            "origin": "igp",
+            "as_path_length": 0,
+            "communities": tuple(communities),
+        }
+        for name, value in ghost_values.items():
+            if name not in self.payload.fields:
+                raise RoutingError(f"unknown ghost field {name!r}")
+            values[name] = value
+        for name, shape in self.payload.fields.items():
+            if name not in values:
+                values[name] = _ghost_default(shape)
+        return values
+
+
+def _ghost_default(shape: Shape) -> Any:
+    if isinstance(shape, BoolShape):
+        return False
+    if isinstance(shape, BitVecShape):
+        return 0
+    if isinstance(shape, SetShape):
+        return ()
+    if isinstance(shape, EnumShape):
+        return shape.enum_type.members[0]
+    raise RoutingError(f"cannot derive a default for ghost shape {shape!r}")
+
+
+def bgp_route_family(
+    communities: Sequence[str] = (),
+    prefix_width: int = 16,
+    ad_width: int = 8,
+    lp_width: int = 16,
+    med_width: int = 16,
+    path_width: int = 12,
+    ghost_fields: dict[str, Shape] | None = None,
+) -> BgpRouteFamily:
+    """Build the route shapes of Table 3.
+
+    The widths default to smaller values than a production BGP implementation
+    would use (e.g. a 16-bit abstract prefix identifier instead of a 32-bit
+    IPv4 address) so the pure-Python SAT backend stays fast; every width is a
+    parameter, so individual benchmarks can widen them.
+    """
+    fields: dict[str, Shape] = {
+        "prefix": BitVecShape(prefix_width),
+        "ad": BitVecShape(ad_width),
+        "lp": BitVecShape(lp_width),
+        "med": BitVecShape(med_width),
+        "origin": EnumShape(ORIGIN_TYPE),
+        "as_path_length": BitVecShape(path_width),
+        "communities": SetShape(tuple(communities)) if communities else SetShape(("_unused",)),
+    }
+    for name, shape in (ghost_fields or {}).items():
+        if name in fields:
+            raise RoutingError(f"ghost field {name!r} clashes with a base BGP field")
+        fields[name] = shape
+    payload = RecordShape("BgpRoute", fields)
+    return BgpRouteFamily(payload=payload, route=OptionShape(payload), communities=tuple(communities))
+
+
+# ---------------------------------------------------------------------------
+# The BGP decision process (the ⊕ merge function)
+# ---------------------------------------------------------------------------
+
+
+def bgp_better(left: Any, right: Any) -> SymBool:
+    """True when payload ``left`` wins the decision process against ``right``."""
+    lower_ad = left.ad < right.ad
+    same_ad = left.ad == right.ad
+    higher_lp = left.lp > right.lp
+    same_lp = left.lp == right.lp
+    shorter_path = left.as_path_length < right.as_path_length
+    same_path = left.as_path_length == right.as_path_length
+    better_origin = left.origin.index < right.origin.index
+    same_origin = left.origin.index == right.origin.index
+    lower_med = left.med <= right.med
+    return lower_ad | (
+        same_ad
+        & (
+            higher_lp
+            | (
+                same_lp
+                & (
+                    shorter_path
+                    | (same_path & (better_origin | (same_origin & lower_med)))
+                )
+            )
+        )
+    )
+
+
+def bgp_merge(left: SymOption, right: SymOption) -> SymOption:
+    """The ⊕ function: prefer presence, then the BGP decision process."""
+    return option_min_merge(left, right, bgp_better)
+
+
+# ---------------------------------------------------------------------------
+# Transfer-function combinators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BgpPolicy:
+    """A declarative description of one edge's import/export policy.
+
+    The policy is applied to a route in this order:
+
+    1. drop everything when ``deny_all`` is set;
+    2. drop the route if any ``deny_communities`` tag is present;
+    3. drop the route unless all ``require_communities`` tags are present;
+    4. drop the route if ``guard`` (an arbitrary payload predicate) fails;
+    5. increment the AS-path length (unless ``increment_path`` is false);
+    6. add/remove communities;
+    7. overwrite local preference / MED when requested; and
+    8. apply ``transform`` (an arbitrary payload-to-payload function).
+    """
+
+    deny_all: bool = False
+    deny_communities: tuple[str, ...] = ()
+    require_communities: tuple[str, ...] = ()
+    guard: Callable[[Any], SymBool] | None = None
+    increment_path: bool = True
+    add_communities: tuple[str, ...] = ()
+    remove_communities: tuple[str, ...] = ()
+    set_local_preference: int | None = None
+    set_med: int | None = None
+    transform: Callable[[Any], Any] | None = None
+
+    def apply(self, route: SymOption) -> SymOption:
+        """Apply this policy to an optional route."""
+        if self.deny_all:
+            return route.where(lambda payload: SymBool.false())
+        result = route
+        if self.deny_communities:
+            result = result.where(
+                lambda payload: ~_has_any_community(payload, self.deny_communities)
+            )
+        if self.require_communities:
+            result = result.where(
+                lambda payload: _has_all_communities(payload, self.require_communities)
+            )
+        if self.guard is not None:
+            result = result.where(self.guard)
+        if self.increment_path:
+            result = result.map(
+                lambda payload: payload.with_fields(
+                    as_path_length=payload.as_path_length.saturating_add(1)
+                )
+            )
+        if self.add_communities or self.remove_communities:
+            result = result.map(lambda payload: self._update_communities(payload))
+        if self.set_local_preference is not None:
+            lp_value = self.set_local_preference
+            result = result.map(
+                lambda payload: payload.with_fields(lp=_bv_like(payload.lp, lp_value))
+            )
+        if self.set_med is not None:
+            med_value = self.set_med
+            result = result.map(
+                lambda payload: payload.with_fields(med=_bv_like(payload.med, med_value))
+            )
+        if self.transform is not None:
+            result = result.map(self.transform)
+        return result
+
+    def _update_communities(self, payload: Any) -> Any:
+        communities = payload.communities
+        for name in self.remove_communities:
+            communities = communities.remove(name)
+        for name in self.add_communities:
+            communities = communities.add(name)
+        return payload.with_fields(communities=communities)
+
+    def as_transfer(self) -> Callable[[SymOption], SymOption]:
+        """This policy as a plain transfer function."""
+        return self.apply
+
+
+def _bv_like(reference: Any, value: int) -> Any:
+    from repro.symbolic import SymBV
+
+    return SymBV.constant(value, reference.width)
+
+
+def _has_any_community(payload: Any, names: tuple[str, ...]) -> SymBool:
+    result = SymBool.false()
+    for name in names:
+        result = result | payload.communities.contains(name)
+    return result
+
+
+def _has_all_communities(payload: Any, names: tuple[str, ...]) -> SymBool:
+    result = SymBool.true()
+    for name in names:
+        result = result & payload.communities.contains(name)
+    return result
+
+
+def identity_policy() -> BgpPolicy:
+    """The plain eBGP policy: just increment the AS-path length."""
+    return BgpPolicy()
+
+
+def drop_all_policy() -> BgpPolicy:
+    """A policy that filters every route (the paper's *filter* edge)."""
+    return BgpPolicy(deny_all=True)

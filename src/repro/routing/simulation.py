@@ -1,0 +1,146 @@
+"""Synchronous network simulation (the paper's ``σ``).
+
+The simulator computes, for a *closed* network (fixed initial routes, no free
+symbolic variables), the state ``σ(v)(t)`` of every node at every time step
+until the network converges or a round limit is hit.  It runs exactly the
+same symbolic initialisation/transfer/merge functions as the verifier; with
+concrete inputs the smart constructors fold everything to constants, and the
+trace records the extracted Python values.
+
+The simulator serves three purposes in this reproduction:
+
+* it regenerates the example simulation table of Figure 3;
+* it is the ground truth for the soundness property tests (Theorem 3.1:
+  every simulated state must satisfy a verified interface); and
+* it provides the "exact interface" of the completeness theorem (Theorem 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import RoutingError
+from repro.routing.algebra import Network
+from repro.smt.model import Model
+from repro.symbolic.generic import values_equal
+
+
+@dataclass
+class SimulationTrace:
+    """The per-time-step states computed by :func:`simulate`."""
+
+    #: ``states[t][v]`` is the Python value of node ``v``'s route at time ``t``.
+    states: list[dict[str, Any]]
+    #: The first time step at which the state equals the previous one, if any.
+    converged_at: int | None
+
+    @property
+    def rounds(self) -> int:
+        """Number of update rounds simulated (states has ``rounds + 1`` entries)."""
+        return len(self.states) - 1
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_at is not None
+
+    def state_at(self, time: int) -> dict[str, Any]:
+        """The network state at ``time`` (clamped to the last computed state).
+
+        Clamping is sound for converged networks: once stable, the state never
+        changes again.
+        """
+        if time < 0:
+            raise RoutingError("time must be non-negative")
+        index = min(time, len(self.states) - 1)
+        if index < time and not self.converged:
+            raise RoutingError(
+                f"state at time {time} requested but simulation only ran "
+                f"{self.rounds} rounds without converging"
+            )
+        return dict(self.states[index])
+
+    def route_at(self, node: str, time: int) -> Any:
+        """``σ(node)(time)`` as a Python value."""
+        state = self.state_at(time)
+        if node not in state:
+            raise RoutingError(f"unknown node {node!r}")
+        return state[node]
+
+    def stable_state(self) -> dict[str, Any]:
+        """The converged state; raises if the simulation did not converge."""
+        if not self.converged:
+            raise RoutingError("the simulation did not converge")
+        return dict(self.states[-1])
+
+    def as_table(self) -> list[tuple[int, dict[str, Any]]]:
+        """(time, state) pairs — the layout of Figure 3 in the paper."""
+        return list(enumerate(self.states))
+
+
+def simulate(network: Network, max_rounds: int | None = None) -> SimulationTrace:
+    """Run the synchronous semantics of equation (3)/(4) on a closed network.
+
+    Raises :class:`RoutingError` if the network has free symbolic variables —
+    open networks have no single concrete execution to simulate.
+    """
+    if not network.is_closed:
+        raise RoutingError(
+            "cannot simulate an open network; bind its symbolic variables first"
+        )
+    if max_rounds is None:
+        # Any converging execution stabilises within |V| rounds for the
+        # shortest-path-like algebras used here; leave generous headroom.
+        max_rounds = 2 * network.topology.node_count + 4
+
+    empty_model = Model({})
+    shape = network.route_shape
+
+    def concretize(value: Any) -> Any:
+        return shape.eval(value, empty_model)
+
+    symbolic_state = {node: network.initial_route(node) for node in network.topology.nodes}
+    _require_concrete(symbolic_state)
+    states = [{node: concretize(route) for node, route in symbolic_state.items()}]
+    converged_at: int | None = None
+
+    for round_index in range(1, max_rounds + 1):
+        new_state: dict[str, Any] = {}
+        for node in network.topology.nodes:
+            neighbor_routes = {
+                neighbor: symbolic_state[neighbor]
+                for neighbor in network.topology.predecessors(node)
+            }
+            new_state[node] = network.updated_route(node, neighbor_routes)
+        _require_concrete(new_state)
+        states.append({node: concretize(route) for node, route in new_state.items()})
+        if _states_equal(new_state, symbolic_state, network):
+            converged_at = round_index
+            symbolic_state = new_state
+            break
+        symbolic_state = new_state
+
+    return SimulationTrace(states=states, converged_at=converged_at)
+
+
+def stable_routes(network: Network, max_rounds: int | None = None) -> dict[str, Any]:
+    """Convenience wrapper returning only the converged state."""
+    return simulate(network, max_rounds=max_rounds).stable_state()
+
+
+def _require_concrete(state: dict[str, Any]) -> None:
+    for node, route in state.items():
+        probe = getattr(route, "is_concrete", None)
+        if probe is None or not probe():
+            raise RoutingError(
+                f"simulation produced a non-concrete route at node {node!r}; "
+                "the network is not closed"
+            )
+
+
+def _states_equal(left: dict[str, Any], right: dict[str, Any], network: Network) -> bool:
+    for node in network.topology.nodes:
+        equal = values_equal(left[node], right[node])
+        if not equal.is_concrete() or not equal.concrete_value():
+            return False
+    return True

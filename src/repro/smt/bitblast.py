@@ -1,0 +1,174 @@
+"""Eager bit-blasting of bitvector terms down to pure boolean terms.
+
+The verification conditions produced by the Timepiece encoder mix boolean
+structure with fixed-width bitvector arithmetic and comparisons.  The
+:class:`BitBlaster` lowers such a mixed term into a term that mentions *only*
+boolean operators and boolean variables, which the Tseitin transform
+(:mod:`repro.smt.tseitin`) then converts to CNF for the SAT core.
+
+Bitvector variables are exploded into per-bit boolean variables whose names
+are derived from the original name (``x`` of width 4 becomes ``x#0 .. x#3``,
+least-significant bit first).  The blaster records this mapping so the solver
+can reassemble integer values for models.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TermError
+from repro.smt import builder
+from repro.smt.sorts import BOOL, BitVecSort
+from repro.smt.terms import (
+    OP_AND,
+    OP_BVADD,
+    OP_BVCONST,
+    OP_BVSUB,
+    OP_BVULE,
+    OP_BVULT,
+    OP_EQ,
+    OP_FALSE,
+    OP_ITE,
+    OP_NOT,
+    OP_OR,
+    OP_TRUE,
+    OP_VAR,
+    Term,
+)
+
+#: Separator between a bitvector variable name and its bit index.
+BIT_SEPARATOR = "#"
+
+
+def bit_name(variable: str, index: int) -> str:
+    """The boolean variable name used for bit ``index`` of ``variable``."""
+    return f"{variable}{BIT_SEPARATOR}{index}"
+
+
+class BitBlaster:
+    """Lowers mixed boolean/bitvector terms to purely boolean terms."""
+
+    def __init__(self) -> None:
+        # Maps bitvector variable name -> width, for model reconstruction.
+        self.bitvector_variables: dict[str, int] = {}
+        self._bool_cache: dict[int, Term] = {}
+        self._bits_cache: dict[int, list[Term]] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def blast(self, term: Term) -> Term:
+        """Blast a boolean-sorted term into a purely boolean term."""
+        if term.sort != BOOL:
+            raise TermError(f"blast expects a boolean term, got sort {term.sort!r}")
+        return self._blast_bool(term)
+
+    # -- boolean-sorted terms ---------------------------------------------------
+
+    def _blast_bool(self, term: Term) -> Term:
+        cached = self._bool_cache.get(term.term_id)
+        if cached is not None:
+            return cached
+        result = self._blast_bool_uncached(term)
+        self._bool_cache[term.term_id] = result
+        return result
+
+    def _blast_bool_uncached(self, term: Term) -> Term:
+        op = term.op
+        if op in (OP_TRUE, OP_FALSE):
+            return term
+        if op == OP_VAR:
+            return term
+        if op == OP_NOT:
+            return builder.not_(self._blast_bool(term.args[0]))
+        if op == OP_AND:
+            return builder.and_(*[self._blast_bool(a) for a in term.args])
+        if op == OP_OR:
+            return builder.or_(*[self._blast_bool(a) for a in term.args])
+        if op == OP_ITE:
+            return builder.ite(
+                self._blast_bool(term.args[0]),
+                self._blast_bool(term.args[1]),
+                self._blast_bool(term.args[2]),
+            )
+        if op == OP_EQ:
+            left, right = term.args
+            if left.sort == BOOL:
+                return builder.eq(self._blast_bool(left), self._blast_bool(right))
+            return self._blast_bv_equality(left, right)
+        if op == OP_BVULT:
+            return self._blast_comparison(term.args[0], term.args[1], strict=True)
+        if op == OP_BVULE:
+            return self._blast_comparison(term.args[0], term.args[1], strict=False)
+        raise TermError(f"cannot bit-blast boolean operator {op!r}")
+
+    def _blast_bv_equality(self, left: Term, right: Term) -> Term:
+        left_bits = self._blast_bits(left)
+        right_bits = self._blast_bits(right)
+        return builder.and_(*[builder.eq(a, b) for a, b in zip(left_bits, right_bits)])
+
+    def _blast_comparison(self, left: Term, right: Term, strict: bool) -> Term:
+        """Unsigned comparator built by scanning from the least-significant bit.
+
+        ``result_i = ite(a_i = b_i, result_{i-1}, ¬a_i ∧ b_i)`` with the base
+        case ``false`` for ``<`` and ``true`` for ``≤``.
+        """
+        left_bits = self._blast_bits(left)
+        right_bits = self._blast_bits(right)
+        result = builder.false() if strict else builder.true()
+        for a_bit, b_bit in zip(left_bits, right_bits):
+            result = builder.ite(
+                builder.eq(a_bit, b_bit),
+                result,
+                builder.and_(builder.not_(a_bit), b_bit),
+            )
+        return result
+
+    # -- bitvector-sorted terms -------------------------------------------------
+
+    def _blast_bits(self, term: Term) -> list[Term]:
+        cached = self._bits_cache.get(term.term_id)
+        if cached is not None:
+            return cached
+        result = self._blast_bits_uncached(term)
+        self._bits_cache[term.term_id] = result
+        return result
+
+    def _blast_bits_uncached(self, term: Term) -> list[Term]:
+        if not isinstance(term.sort, BitVecSort):
+            raise TermError(f"expected a bitvector term, got sort {term.sort!r}")
+        width = term.sort.width
+        op = term.op
+        if op == OP_BVCONST:
+            value = term.bv_value()
+            return [builder.bool_const(bool((value >> i) & 1)) for i in range(width)]
+        if op == OP_VAR:
+            self.bitvector_variables[term.payload] = width
+            return [builder.bool_var(bit_name(term.payload, i)) for i in range(width)]
+        if op == OP_ITE:
+            cond = self._blast_bool(term.args[0])
+            then_bits = self._blast_bits(term.args[1])
+            else_bits = self._blast_bits(term.args[2])
+            return [builder.ite(cond, t, e) for t, e in zip(then_bits, else_bits)]
+        if op == OP_BVADD:
+            return self._ripple_carry(
+                self._blast_bits(term.args[0]),
+                self._blast_bits(term.args[1]),
+                carry_in=builder.false(),
+            )
+        if op == OP_BVSUB:
+            # a - b  =  a + ~b + 1  (two's complement).
+            negated = [builder.not_(b) for b in self._blast_bits(term.args[1])]
+            return self._ripple_carry(self._blast_bits(term.args[0]), negated, carry_in=builder.true())
+        raise TermError(f"cannot bit-blast bitvector operator {op!r}")
+
+    @staticmethod
+    def _ripple_carry(left: list[Term], right: list[Term], carry_in: Term) -> list[Term]:
+        """Classic ripple-carry adder over bit lists (LSB first)."""
+        bits: list[Term] = []
+        carry = carry_in
+        for a_bit, b_bit in zip(left, right):
+            partial = builder.not_(builder.eq(a_bit, b_bit))  # a xor b
+            bits.append(builder.not_(builder.eq(partial, carry)))  # (a xor b) xor carry
+            carry = builder.or_(
+                builder.and_(a_bit, b_bit),
+                builder.and_(partial, carry),
+            )
+        return bits

@@ -1,0 +1,67 @@
+"""CNF clause databases shared between the Tseitin encoder and the SAT core.
+
+Variables are positive integers starting at 1; literals are non-zero integers
+where a negative literal denotes the negation of the corresponding variable
+(the usual DIMACS convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: a variable counter, clause list and name bookkeeping."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+    #: Maps the original boolean variable name to its CNF variable index.
+    name_to_var: dict[str, int] = field(default_factory=dict)
+    #: Inverse of :attr:`name_to_var`.
+    var_to_name: dict[int, str] = field(default_factory=dict)
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable, optionally registering a source name."""
+        self.num_vars += 1
+        index = self.num_vars
+        if name is not None:
+            if name in self.name_to_var:
+                raise SolverError(f"variable name {name!r} already allocated")
+            self.name_to_var[name] = index
+            self.var_to_name[index] = name
+        return index
+
+    def var_for_name(self, name: str) -> int:
+        """The variable index for ``name``, allocating it on first use."""
+        existing = self.name_to_var.get(name)
+        if existing is not None:
+            return existing
+        return self.new_var(name)
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause.  Tautologies are dropped; duplicates are merged."""
+        seen: set[int] = set()
+        unique: list[int] = []
+        for literal in literals:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise SolverError(f"literal {literal} out of range (num_vars={self.num_vars})")
+            if -literal in seen:
+                return  # tautology: clause is trivially satisfied
+            if literal not in seen:
+                seen.add(literal)
+                unique.append(literal)
+        self.clauses.append(unique)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Render the formula in DIMACS CNF format (useful for debugging)."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"

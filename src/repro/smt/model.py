@@ -1,0 +1,46 @@
+"""Models (satisfying assignments) returned by the SMT solver facade.
+
+A :class:`Model` maps the *original* variable names — boolean and bitvector
+alike — back to Python values, regardless of how the bit-blaster and the
+Tseitin transform renamed or exploded them internally.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.smt.terms import Term
+from repro.smt.walker import evaluate
+
+
+class Model:
+    """An assignment of Python values to the free variables of a formula."""
+
+    def __init__(self, values: Mapping[str, bool | int]) -> None:
+        self._values = dict(values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> bool | int:
+        return self._values[name]
+
+    def get(self, name: str, default: bool | int = 0) -> bool | int:
+        """The value of variable ``name``, or ``default`` if unconstrained."""
+        return self._values.get(name, default)
+
+    def as_dict(self) -> dict[str, bool | int]:
+        """A copy of the assignment as a plain dictionary."""
+        return dict(self._values)
+
+    def evaluate(self, term: Term) -> bool | int:
+        """Evaluate an arbitrary term under this model.
+
+        Variables the model does not constrain default to ``False``/``0``,
+        matching the usual "don't care" completion of SAT models.
+        """
+        return evaluate(term, self._values, default=True)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({entries})"

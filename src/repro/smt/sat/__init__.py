@@ -1,0 +1,16 @@
+"""A small, self-contained CDCL SAT solver.
+
+This package replaces the Z3 backend used by the original Timepiece (Z3 is
+not available in this offline environment).  It provides:
+
+* :class:`repro.smt.sat.solver.CdclSolver` — conflict-driven clause learning
+  with two-watched-literal propagation, VSIDS branching, first-UIP clause
+  learning, phase saving and Luby restarts; and
+* :class:`repro.smt.sat.brute_force.BruteForceSolver` — an exhaustive
+  reference solver used by the property-based test suite as an oracle.
+"""
+
+from repro.smt.sat.brute_force import BruteForceSolver
+from repro.smt.sat.solver import CdclSolver, SatStatus
+
+__all__ = ["CdclSolver", "SatStatus", "BruteForceSolver"]

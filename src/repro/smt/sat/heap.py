@@ -1,0 +1,87 @@
+"""An indexed max-heap ordered by VSIDS activity.
+
+The CDCL solver needs to repeatedly extract the unassigned variable with the
+highest activity and to increase the activity of arbitrary variables.  This
+heap supports both in ``O(log n)`` by keeping, for every variable, its
+current position inside the heap array.
+"""
+
+from __future__ import annotations
+
+
+class ActivityHeap:
+    """Max-heap of variable indices keyed by an external activity array."""
+
+    def __init__(self, activity: list[float]) -> None:
+        self._activity = activity
+        self._heap: list[int] = []
+        self._positions: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, variable: int) -> bool:
+        return variable in self._positions
+
+    def push(self, variable: int) -> None:
+        """Insert ``variable`` if it is not already present."""
+        if variable in self._positions:
+            return
+        self._heap.append(variable)
+        self._positions[variable] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> int:
+        """Remove and return the variable with the highest activity."""
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._positions[top]
+        if self._heap:
+            self._heap[0] = last
+            self._positions[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, variable: int) -> None:
+        """Restore heap order after ``variable``'s activity increased."""
+        position = self._positions.get(variable)
+        if position is not None:
+            self._sift_up(position)
+
+    # -- internal ---------------------------------------------------------------
+
+    def _better(self, left: int, right: int) -> bool:
+        return self._activity[left] > self._activity[right]
+
+    def _sift_up(self, position: int) -> None:
+        heap = self._heap
+        variable = heap[position]
+        while position > 0:
+            parent = (position - 1) >> 1
+            if not self._better(variable, heap[parent]):
+                break
+            heap[position] = heap[parent]
+            self._positions[heap[parent]] = position
+            position = parent
+        heap[position] = variable
+        self._positions[variable] = position
+
+    def _sift_down(self, position: int) -> None:
+        heap = self._heap
+        size = len(heap)
+        variable = heap[position]
+        while True:
+            left = 2 * position + 1
+            if left >= size:
+                break
+            right = left + 1
+            best_child = left
+            if right < size and self._better(heap[right], heap[left]):
+                best_child = right
+            if not self._better(heap[best_child], variable):
+                break
+            heap[position] = heap[best_child]
+            self._positions[heap[best_child]] = position
+            position = best_child
+        heap[position] = variable
+        self._positions[variable] = position

@@ -1,0 +1,351 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The implementation follows the classic MiniSat architecture:
+
+* two-watched-literal unit propagation;
+* VSIDS variable activities with exponential decay (implemented by growing
+  the bump amount) and an indexed max-heap for branching;
+* first-UIP conflict analysis with clause learning;
+* non-chronological backjumping;
+* phase saving; and
+* Luby-sequence restarts.
+
+It is intentionally free of clause deletion and preprocessing — the formulas
+produced by the per-node verification conditions are small (thousands of
+variables), so robustness and clarity win over raw throughput here.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import SolverError
+from repro.smt.sat.heap import ActivityHeap
+
+
+class SatStatus(Enum):
+    """Result of a satisfiability query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+def luby(index: int) -> int:
+    """The ``index``-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if index < 1:
+        raise SolverError(f"Luby sequence is 1-based, got index {index}")
+    while True:
+        size = 1
+        while (1 << size) - 1 < index:
+            size += 1
+        if index == (1 << size) - 1:
+            return 1 << (size - 1)
+        index -= (1 << (size - 1)) - 1
+
+
+class CdclSolver:
+    """CDCL SAT solver over clauses of integer literals (DIMACS convention)."""
+
+    def __init__(self, restart_base: int = 100, activity_decay: float = 0.95) -> None:
+        self.num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[list[int]]] = {}
+        self._assignment: list[int] = [0]  # 1-indexed; 0 = unassigned, 1 = true, -1 = false
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._propagation_head = 0
+        self._heap = ActivityHeap(self._activity)
+        self._activity_increment = 1.0
+        self._activity_decay = activity_decay
+        self._restart_base = restart_base
+        self._unsatisfiable = False
+        self._pending_units: list[int] = []
+        # Statistics, reported by the benchmarks.
+        self.statistics = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0, "learned": 0}
+
+    # -- problem construction ---------------------------------------------------
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable universe so that variables ``1..count`` exist."""
+        while self.num_vars < count:
+            self.num_vars += 1
+            self._assignment.append(0)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._heap.push(self.num_vars)
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause to the database (before or between solve calls)."""
+        if self._trail_limits:
+            raise SolverError("clauses may only be added at decision level 0")
+        unique: list[int] = []
+        seen: set[int] = set()
+        for literal in literals:
+            if literal == 0:
+                raise SolverError("0 is not a valid literal")
+            self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return  # tautology
+            if literal not in seen:
+                seen.add(literal)
+                unique.append(literal)
+        if not unique:
+            self._unsatisfiable = True
+            return
+        if len(unique) == 1:
+            self._pending_units.append(unique[0])
+            return
+        self._attach_clause(unique)
+
+    def _attach_clause(self, clause: list[int]) -> None:
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # -- assignment helpers -----------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        """1 if the literal is true, -1 if false, 0 if unassigned."""
+        value = self._assignment[abs(literal)]
+        return value if literal > 0 else -value
+
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _enqueue(self, literal: int, reason: list[int] | None) -> bool:
+        current = self._value(literal)
+        if current == 1:
+            return True
+        if current == -1:
+            return False
+        variable = abs(literal)
+        self._assignment[variable] = 1 if literal > 0 else -1
+        self._level[variable] = self.decision_level
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation.  Returns a conflicting clause, or ``None``."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self.statistics["propagations"] += 1
+            falsified = -literal
+            watch_list = self._watches.get(falsified)
+            if not watch_list:
+                continue
+            remaining: list[list[int]] = []
+            conflict: list[int] | None = None
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                index += 1
+                if conflict is not None:
+                    remaining.append(clause)
+                    continue
+                # Normalise so that the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._value(other) == 1:
+                    remaining.append(clause)
+                    continue
+                # Look for a replacement watch among the remaining literals.
+                moved = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._value(candidate) != -1:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watches.setdefault(candidate, []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                remaining.append(clause)
+                if self._value(other) == -1:
+                    conflict = clause
+                else:
+                    self._enqueue(other, clause)
+            self._watches[falsified] = remaining
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ------------------------------------------------------
+
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+        self._heap.update(variable)
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis.  Returns (learned clause, backjump level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = 0
+        clause: list[int] | None = conflict
+        trail_index = len(self._trail) - 1
+        while True:
+            assert clause is not None, "reached a decision without finding the UIP"
+            for clause_literal in clause:
+                # Skip the literal implied by this reason clause (the one whose
+                # antecedents we are currently expanding).
+                if literal != 0 and clause_literal == literal:
+                    continue
+                variable = abs(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_variable(variable)
+                if self._level[variable] >= self.decision_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            trail_index -= 1
+            seen[abs(literal)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[abs(literal)]
+        learned[0] = -literal
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            # Move the literal from the highest remaining decision level into
+            # position 1 so the two-watched-literal invariant (the watched
+            # literals are the last to be falsified) holds for the learned
+            # clause after backjumping.
+            best_index = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
+            learned[1], learned[best_index] = learned[best_index], learned[1]
+            backjump_level = self._level[abs(learned[1])]
+        return learned, backjump_level
+
+    def _backtrack(self, target_level: int) -> None:
+        if self.decision_level <= target_level:
+            return
+        boundary = self._trail_limits[target_level]
+        for literal in reversed(self._trail[boundary:]):
+            variable = abs(literal)
+            self._assignment[variable] = 0
+            self._reason[variable] = None
+            self._heap.push(variable)
+        del self._trail[boundary:]
+        del self._trail_limits[target_level:]
+        self._propagation_head = len(self._trail)
+
+    # -- branching ---------------------------------------------------------------
+
+    def _pick_branch_variable(self) -> int | None:
+        while len(self._heap):
+            variable = self._heap.pop()
+            if self._assignment[variable] == 0:
+                return variable
+        return None
+
+    # -- main search -------------------------------------------------------------
+
+    def solve(
+        self, assumptions: list[int] | None = None, timeout: float | None = None
+    ) -> SatStatus:
+        """Decide satisfiability of the clause database under ``assumptions``.
+
+        ``timeout`` is a soft wall-clock limit in seconds; when exceeded the
+        solver gives up and returns :data:`SatStatus.UNKNOWN`.
+        """
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        if self._unsatisfiable:
+            return SatStatus.UNSAT
+        self._backtrack(0)
+        for unit in self._pending_units:
+            if not self._enqueue(unit, None):
+                self._unsatisfiable = True
+                return SatStatus.UNSAT
+        self._pending_units.clear()
+        if self._propagate() is not None:
+            self._unsatisfiable = True
+            return SatStatus.UNSAT
+        for literal in assumptions or []:
+            self.ensure_vars(abs(literal))
+            if self._value(literal) == -1:
+                return SatStatus.UNSAT
+            if self._value(literal) == 0:
+                self._trail_limits.append(len(self._trail))
+                self._enqueue(literal, None)
+                if self._propagate() is not None:
+                    self._backtrack(0)
+                    return SatStatus.UNSAT
+        assumption_level = self.decision_level
+
+        conflicts_until_restart = self._restart_base * luby(1)
+        restart_count = 1
+        conflicts_since_restart = 0
+        iterations = 0
+        while True:
+            iterations += 1
+            if deadline is not None and iterations % 512 == 0 and _time.monotonic() > deadline:
+                self._backtrack(0)
+                return SatStatus.UNKNOWN
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics["conflicts"] += 1
+                conflicts_since_restart += 1
+                if self.decision_level <= assumption_level:
+                    self._backtrack(0)
+                    if assumption_level == 0:
+                        self._unsatisfiable = True
+                    return SatStatus.UNSAT
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(max(backjump_level, assumption_level))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._unsatisfiable = True
+                        return SatStatus.UNSAT
+                else:
+                    self._attach_clause(learned)
+                    self.statistics["learned"] += 1
+                    self._enqueue(learned[0], learned)
+                self._activity_increment /= self._activity_decay
+            else:
+                if conflicts_since_restart >= conflicts_until_restart:
+                    self.statistics["restarts"] += 1
+                    restart_count += 1
+                    conflicts_since_restart = 0
+                    conflicts_until_restart = self._restart_base * luby(restart_count)
+                    self._backtrack(assumption_level)
+                    continue
+                variable = self._pick_branch_variable()
+                if variable is None:
+                    return SatStatus.SAT
+                self.statistics["decisions"] += 1
+                self._trail_limits.append(len(self._trail))
+                phase_literal = variable if self._phase[variable] else -variable
+                self._enqueue(phase_literal, None)
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment found by the last :meth:`solve` call."""
+        assignment: dict[int, bool] = {}
+        for variable in range(1, self.num_vars + 1):
+            assignment[variable] = self._assignment[variable] == 1
+        return assignment

@@ -1,0 +1,219 @@
+"""The SMT solver facade: assert terms, check satisfiability, read models.
+
+This is the narrow waist between the symbolic modelling layer and the SAT
+core.  A :class:`Solver` owns a set of asserted boolean terms; ``check()``
+conjoins them, bit-blasts the conjunction, converts it to CNF with the
+Tseitin transform and hands the clauses to the CDCL solver.  When the result
+is satisfiable, the solver reassembles a :class:`~repro.smt.model.Model` over
+the original (pre-blasting) variable names.
+
+Two convenience entry points cover the two query shapes Timepiece needs:
+
+* :meth:`Solver.check` — is the conjunction of assertions satisfiable?
+* :func:`prove` — is a formula valid?  (Checks the negation for
+  unsatisfiability and returns a counterexample model otherwise.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.smt import builder
+from repro.smt.bitblast import BitBlaster, bit_name
+from repro.smt.cnf import Cnf
+from repro.smt.model import Model
+from repro.smt.sat.solver import CdclSolver, SatStatus
+from repro.smt.terms import Term, free_variables
+from repro.smt.tseitin import TseitinEncoder
+
+
+class CheckResult:
+    """Outcome of a satisfiability check."""
+
+    def __init__(self, status: SatStatus, model: Model | None) -> None:
+        self.status = status
+        self._model = model
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SatStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == SatStatus.UNSAT
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("no model available (the query was unsatisfiable)")
+        return self._model
+
+    def __repr__(self) -> str:
+        return f"CheckResult({self.status.value})"
+
+
+@dataclass
+class SolverStatistics:
+    """Aggregate statistics for benchmarking the SMT backend."""
+
+    variables: int = 0
+    clauses: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+
+class Solver:
+    """Incremental-looking facade over the eager bit-blasting pipeline.
+
+    The facade supports ``push``/``pop`` of assertion frames.  Each ``check``
+    builds a fresh SAT instance — re-encoding is cheap at the formula sizes
+    produced by per-node verification conditions, and it keeps the SAT core
+    simple and stateless between queries.
+    """
+
+    def __init__(self) -> None:
+        self._assertions: list[Term] = []
+        self._frames: list[int] = []
+        self.statistics = SolverStatistics()
+
+    # -- assertion management ----------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        """Assert one or more boolean terms."""
+        for term in terms:
+            if not term.sort.is_bool():
+                raise SolverError(f"only boolean terms can be asserted, got sort {term.sort!r}")
+            self._assertions.append(term)
+
+    def push(self) -> None:
+        """Open a new assertion frame."""
+        self._frames.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Discard every assertion added since the matching :meth:`push`."""
+        if not self._frames:
+            raise SolverError("pop without a matching push")
+        boundary = self._frames.pop()
+        del self._assertions[boundary:]
+
+    @property
+    def assertions(self) -> tuple[Term, ...]:
+        return tuple(self._assertions)
+
+    # -- solving ------------------------------------------------------------------
+
+    def check(self, *extra: Term, timeout: float | None = None) -> CheckResult:
+        """Check satisfiability of the asserted terms plus ``extra``.
+
+        ``timeout`` is a soft wall-clock limit in seconds; a timed-out query
+        reports :data:`SatStatus.UNKNOWN`.
+        """
+        goal = builder.and_(*self._assertions, *extra)
+        if goal.is_true():
+            return CheckResult(SatStatus.SAT, Model({}))
+        if goal.is_false():
+            return CheckResult(SatStatus.UNSAT, None)
+
+        blaster = BitBlaster()
+        blasted = blaster.blast(goal)
+        if blasted.is_true():
+            return CheckResult(SatStatus.SAT, Model({}))
+        if blasted.is_false():
+            return CheckResult(SatStatus.UNSAT, None)
+
+        cnf = Cnf()
+        encoder = TseitinEncoder(cnf)
+        encoder.assert_term(blasted)
+
+        sat_solver = CdclSolver()
+        sat_solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            sat_solver.add_clause(clause)
+        status = sat_solver.solve(timeout=timeout)
+
+        self.statistics.variables += cnf.num_vars
+        self.statistics.clauses += cnf.num_clauses
+        self.statistics.conflicts += sat_solver.statistics["conflicts"]
+        self.statistics.decisions += sat_solver.statistics["decisions"]
+        self.statistics.propagations += sat_solver.statistics["propagations"]
+
+        if status != SatStatus.SAT:
+            return CheckResult(status, None)
+        model = self._reconstruct_model(goal, cnf, sat_solver.model(), blaster)
+        return CheckResult(status, model)
+
+    @staticmethod
+    def _reconstruct_model(
+        goal: Term,
+        cnf: Cnf,
+        sat_assignment: dict[int, bool],
+        blaster: BitBlaster,
+    ) -> Model:
+        values: dict[str, bool | int] = {}
+        # Boolean variables keep their names through blasting and CNF conversion.
+        for name, cnf_var in cnf.name_to_var.items():
+            if name.startswith("$") or bit_is_exploded(name):
+                continue
+            values[name] = sat_assignment.get(cnf_var, False)
+        # Bitvector variables are reassembled from their per-bit booleans.
+        for name, width in blaster.bitvector_variables.items():
+            value = 0
+            for index in range(width):
+                cnf_var = cnf.name_to_var.get(bit_name(name, index))
+                if cnf_var is not None and sat_assignment.get(cnf_var, False):
+                    value |= 1 << index
+            values[name] = value
+        # Variables of the goal that were simplified away are unconstrained;
+        # record defaults so counterexample reporting is total.
+        for name, term in free_variables(goal).items():
+            if name not in values:
+                values[name] = False if term.sort.is_bool() else 0
+        return Model(values)
+
+
+def bit_is_exploded(name: str) -> bool:
+    """True for the per-bit boolean variable names created by the bit-blaster."""
+    from repro.smt.bitblast import BIT_SEPARATOR
+
+    return BIT_SEPARATOR in name
+
+
+def check_sat(term: Term) -> CheckResult:
+    """Check satisfiability of a single term."""
+    solver = Solver()
+    solver.add(term)
+    return solver.check()
+
+
+@dataclass
+class ProofResult:
+    """Outcome of a validity query."""
+
+    valid: bool
+    counterexample: Model | None
+    #: True when the query timed out (neither proved nor refuted).
+    unknown: bool = False
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def prove(term: Term, *assumptions: Term, timeout: float | None = None) -> ProofResult:
+    """Decide validity of ``assumptions ⟹ term``.
+
+    Returns a :class:`ProofResult`; when the implication is not valid, the
+    result carries a counterexample model of the assumptions plus the negated
+    goal.  With ``timeout`` set, an undecided query is reported with
+    ``unknown=True``.
+    """
+    solver = Solver()
+    for assumption in assumptions:
+        solver.add(assumption)
+    solver.add(builder.not_(term))
+    outcome = solver.check(timeout=timeout)
+    if outcome.is_unsat:
+        return ProofResult(True, None)
+    if outcome.status == SatStatus.UNKNOWN:
+        return ProofResult(False, None, unknown=True)
+    return ProofResult(False, outcome.model())

@@ -1,0 +1,82 @@
+"""Sorts (types) for the finite-domain SMT term language.
+
+The reproduction only ever needs two kinds of sorts:
+
+* :data:`BOOL` — the booleans; and
+* :class:`BitVecSort` — fixed-width unsigned bitvectors.
+
+Everything richer (enumerations, optional values, records, finite sets) is
+layered on top of these two sorts by :mod:`repro.symbolic`, mirroring how the
+original Timepiece lowers Zen values onto Z3 sorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SortError
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Base class for sorts.  Sorts are immutable and compared structurally."""
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+    def is_bitvec(self) -> bool:
+        return isinstance(self, BitVecSort)
+
+
+@dataclass(frozen=True)
+class BoolSort(Sort):
+    """The sort of boolean terms."""
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True)
+class BitVecSort(Sort):
+    """The sort of unsigned bitvectors of a fixed ``width`` (in bits)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise SortError(f"bitvector width must be positive, got {self.width}")
+
+    @property
+    def max_value(self) -> int:
+        """Largest unsigned value representable at this width."""
+        return (1 << self.width) - 1
+
+    def mask(self, value: int) -> int:
+        """Truncate ``value`` to this width (two's-complement wraparound)."""
+        return value & self.max_value
+
+    def __repr__(self) -> str:
+        return f"BitVec({self.width})"
+
+
+#: The unique boolean sort instance.
+BOOL = BoolSort()
+
+
+def bitvec(width: int) -> BitVecSort:
+    """Return the bitvector sort of the given ``width``."""
+    return BitVecSort(width)
+
+
+def check_same_sort(left: Sort, right: Sort, context: str) -> Sort:
+    """Raise :class:`SortError` unless ``left`` and ``right`` are equal."""
+    if left != right:
+        raise SortError(f"{context}: sorts differ ({left!r} vs {right!r})")
+    return left
+
+
+def width_for_value(value: int) -> int:
+    """Smallest bitvector width able to represent the non-negative ``value``."""
+    if value < 0:
+        raise SortError(f"cannot size a bitvector for negative value {value}")
+    return max(1, value.bit_length())

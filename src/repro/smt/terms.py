@@ -1,0 +1,189 @@
+"""Hash-consed terms for the finite-domain SMT language.
+
+A :class:`Term` is an immutable node in a maximally-shared DAG.  Terms are
+*hash-consed*: constructing the same operator over the same arguments twice
+returns the identical Python object, so structural equality is object
+identity and memoised traversals can key dictionaries by ``id``-equality.
+
+Only the raw representation lives here.  The *smart constructors* that
+perform algebraic simplification while building terms live in
+:mod:`repro.smt.builder`; user code should go through the builder.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.errors import TermError
+from repro.smt.sorts import BOOL, BitVecSort, Sort
+
+# Operator tags.  Using plain strings keeps terms picklable and easy to debug.
+OP_TRUE = "true"
+OP_FALSE = "false"
+OP_VAR = "var"
+OP_NOT = "not"
+OP_AND = "and"
+OP_OR = "or"
+OP_ITE = "ite"
+OP_EQ = "eq"
+OP_BVCONST = "bvconst"
+OP_BVADD = "bvadd"
+OP_BVSUB = "bvsub"
+OP_BVULT = "bvult"
+OP_BVULE = "bvule"
+
+#: Operators whose result sort is boolean regardless of argument sorts.
+BOOL_RESULT_OPS = frozenset({OP_TRUE, OP_FALSE, OP_NOT, OP_AND, OP_OR, OP_EQ, OP_BVULT, OP_BVULE})
+
+#: Operators that carry a payload instead of (or in addition to) arguments.
+PAYLOAD_OPS = frozenset({OP_VAR, OP_BVCONST})
+
+
+class Term:
+    """A node of the term DAG.
+
+    Attributes:
+        op: operator tag (one of the ``OP_*`` constants).
+        args: child terms.
+        payload: operator-specific data (variable name, constant value).
+        sort: the sort of the term.
+    """
+
+    __slots__ = ("op", "args", "payload", "sort", "_hash", "term_id")
+
+    _intern: dict[tuple, "Term"] = {}
+    _next_id: int = 0
+
+    def __new__(cls, op: str, args: tuple["Term", ...], payload: Hashable, sort: Sort) -> "Term":
+        key = (op, tuple(a.term_id for a in args), payload, sort)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        term = object.__new__(cls)
+        term.op = op
+        term.args = args
+        term.payload = payload
+        term.sort = sort
+        term.term_id = cls._next_id
+        cls._next_id += 1
+        term._hash = hash((op, term.term_id))
+        cls._intern[key] = term
+        return term
+
+    # Terms are interned, so identity is structural equality.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return term_to_str(self, max_depth=6)
+
+    # -- convenience predicates ------------------------------------------------
+
+    def is_true(self) -> bool:
+        return self.op == OP_TRUE
+
+    def is_false(self) -> bool:
+        return self.op == OP_FALSE
+
+    def is_bool_const(self) -> bool:
+        return self.op in (OP_TRUE, OP_FALSE)
+
+    def is_bv_const(self) -> bool:
+        return self.op == OP_BVCONST
+
+    def is_const(self) -> bool:
+        return self.is_bool_const() or self.is_bv_const()
+
+    def is_var(self) -> bool:
+        return self.op == OP_VAR
+
+    def bool_value(self) -> bool:
+        """The Python value of a boolean constant term."""
+        if not self.is_bool_const():
+            raise TermError(f"not a boolean constant: {self!r}")
+        return self.op == OP_TRUE
+
+    def bv_value(self) -> int:
+        """The Python value of a bitvector constant term."""
+        if not self.is_bv_const():
+            raise TermError(f"not a bitvector constant: {self!r}")
+        return self.payload
+
+    def const_value(self) -> bool | int:
+        """The Python value of any constant term."""
+        if self.is_bool_const():
+            return self.bool_value()
+        return self.bv_value()
+
+    def var_name(self) -> str:
+        if not self.is_var():
+            raise TermError(f"not a variable: {self!r}")
+        return self.payload
+
+    def width(self) -> int:
+        """The width of a bitvector-sorted term."""
+        if not isinstance(self.sort, BitVecSort):
+            raise TermError(f"term is not bitvector-sorted: {self!r}")
+        return self.sort.width
+
+    @classmethod
+    def intern_table_size(cls) -> int:
+        """Number of distinct terms built so far (useful in tests/benchmarks)."""
+        return len(cls._intern)
+
+
+def make_term(op: str, args: tuple[Term, ...], payload: Hashable, sort: Sort) -> Term:
+    """Low-level constructor.  Performs no simplification."""
+    return Term(op, args, payload, sort)
+
+
+# Pre-built boolean constants, shared across the whole process.
+TRUE = make_term(OP_TRUE, (), None, BOOL)
+FALSE = make_term(OP_FALSE, (), None, BOOL)
+
+
+def iter_subterms(root: Term) -> Iterator[Term]:
+    """Yield every distinct subterm of ``root`` exactly once (post-order)."""
+    seen: set[int] = set()
+    stack: list[tuple[Term, bool]] = [(root, False)]
+    while stack:
+        term, expanded = stack.pop()
+        if term.term_id in seen:
+            continue
+        if expanded:
+            seen.add(term.term_id)
+            yield term
+        else:
+            stack.append((term, True))
+            for arg in term.args:
+                if arg.term_id not in seen:
+                    stack.append((arg, False))
+
+
+def free_variables(root: Term) -> dict[str, Term]:
+    """Return the free variables of ``root`` as a name → term mapping."""
+    return {t.payload: t for t in iter_subterms(root) if t.op == OP_VAR}
+
+
+def term_size(root: Term) -> int:
+    """Number of distinct subterms in the DAG rooted at ``root``."""
+    return sum(1 for _ in iter_subterms(root))
+
+
+def term_to_str(term: Term, max_depth: int = 12) -> str:
+    """Render a term as an s-expression, eliding very deep structure."""
+    if max_depth <= 0:
+        return "..."
+    if term.op == OP_TRUE:
+        return "true"
+    if term.op == OP_FALSE:
+        return "false"
+    if term.op == OP_VAR:
+        return f"{term.payload}:{term.sort!r}"
+    if term.op == OP_BVCONST:
+        return f"#b{term.payload}/{term.width()}"
+    rendered_args = " ".join(term_to_str(a, max_depth - 1) for a in term.args)
+    return f"({term.op} {rendered_args})"

@@ -1,0 +1,51 @@
+"""The symbolic modelling layer (the analogue of Microsoft's Zen library).
+
+Network models — initial routes, transfer functions, merge functions,
+interfaces and properties — are written once over the symbolic value classes
+exported here.  Running them on constant inputs folds to concrete values
+(that is how the simulator works); running them on fresh symbolic variables
+produces SMT terms for the verification conditions.
+"""
+
+from repro.symbolic.context import fresh_name, reset_fresh_names
+from repro.symbolic.generic import ite_value, values_equal
+from repro.symbolic.option import SymOption
+from repro.symbolic.record import SymRecord
+from repro.symbolic.sets import SymSet
+from repro.symbolic.shapes import (
+    BitVecShape,
+    BoolShape,
+    EnumShape,
+    OptionShape,
+    RecordShape,
+    SetShape,
+    Shape,
+    enum,
+    record,
+)
+from repro.symbolic.values import EnumType, SymBV, SymBool, SymEnum, all_of, any_of
+
+__all__ = [
+    "fresh_name",
+    "reset_fresh_names",
+    "ite_value",
+    "values_equal",
+    "SymBool",
+    "SymBV",
+    "SymEnum",
+    "EnumType",
+    "SymOption",
+    "SymRecord",
+    "SymSet",
+    "all_of",
+    "any_of",
+    "Shape",
+    "BoolShape",
+    "BitVecShape",
+    "EnumShape",
+    "OptionShape",
+    "RecordShape",
+    "SetShape",
+    "record",
+    "enum",
+]

@@ -1,0 +1,33 @@
+"""Fresh-name management for symbolic variables.
+
+Every symbolic variable created by the modelling layer gets a globally unique
+name derived from a caller-supplied prefix.  Uniqueness matters because the
+underlying SMT terms are identified purely by name: two distinct "fresh"
+routes must never collide.
+
+The counter is process-global (the solver pipeline is stateless between
+queries), but can be reset for reproducible tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator
+
+_counter: Iterator[int] = itertools.count()
+
+#: Characters allowed in a name prefix; anything else is replaced by ``_``.
+_SAFE_PREFIX = re.compile(r"[^A-Za-z0-9_.$\-]")
+
+
+def fresh_name(prefix: str = "sym") -> str:
+    """Return a globally unique variable name starting with ``prefix``."""
+    cleaned = _SAFE_PREFIX.sub("_", prefix) or "sym"
+    return f"{cleaned}!{next(_counter)}"
+
+
+def reset_fresh_names() -> None:
+    """Reset the fresh-name counter (tests only — never during solving)."""
+    global _counter
+    _counter = itertools.count()

@@ -1,0 +1,70 @@
+"""Generic operations over any symbolic value.
+
+The modelling layer has six value kinds (booleans, bitvectors, enums,
+options, finite sets and records).  Network policies need two operations that
+work uniformly across all of them:
+
+* :func:`ite_value` — a symbolic if-then-else that selects whole values; and
+* :func:`values_equal` — structural equality as a :class:`SymBool`.
+
+Scalar kinds are handled here directly; composite kinds implement the
+``_select``/``_eq_value`` protocol and are dispatched to dynamically, which
+keeps the module import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SymbolicError
+from repro.smt import builder
+from repro.symbolic.values import SymBV, SymBool, SymEnum
+
+
+def _lift_like(value: Any, reference: Any) -> Any:
+    """Lift a plain Python ``bool``/``int`` to the symbolic kind of ``reference``."""
+    if isinstance(value, SymBool) or isinstance(value, SymBV) or isinstance(value, SymEnum):
+        return value
+    if isinstance(reference, SymBool) and isinstance(value, bool):
+        return SymBool.constant(value)
+    if isinstance(reference, SymBV) and isinstance(value, (int, bool)) and not isinstance(value, SymBV):
+        return SymBV.constant(int(value), reference.width)
+    if isinstance(reference, SymEnum) and isinstance(value, str):
+        return reference.enum_type.constant(value)
+    return value
+
+
+def ite_value(cond: SymBool, then_value: Any, else_value: Any) -> Any:
+    """Return a symbolic value equal to ``then_value`` when ``cond`` holds.
+
+    Works over every symbolic value kind, including nested records/options.
+    Plain Python ``bool``/``int``/``str`` operands are lifted against the
+    other branch, so policies may freely mix literals with symbolic values.
+    """
+    then_value = _lift_like(then_value, else_value)
+    else_value = _lift_like(else_value, then_value)
+    if isinstance(then_value, SymBool):
+        return SymBool(builder.ite(cond.term, then_value.term, SymBool.lift(else_value).term))
+    if isinstance(then_value, SymBV):
+        if not isinstance(else_value, (SymBV, int)):
+            raise SymbolicError(f"ite branches disagree: {then_value!r} vs {else_value!r}")
+        coerced = then_value._coerce(else_value)
+        return SymBV(builder.ite(cond.term, then_value.term, coerced.term))
+    if isinstance(then_value, SymEnum):
+        if not isinstance(else_value, SymEnum) or else_value.enum_type is not then_value.enum_type:
+            raise SymbolicError("ite branches must be members of the same enum")
+        return SymEnum(then_value.enum_type, ite_value(cond, then_value.index, else_value.index))
+    if hasattr(then_value, "_select"):
+        return then_value._select(cond, else_value)
+    raise SymbolicError(f"cannot build an ite over values of type {type(then_value).__name__}")
+
+
+def values_equal(left: Any, right: Any) -> SymBool:
+    """Structural equality of two symbolic values of the same kind."""
+    left = _lift_like(left, right)
+    right = _lift_like(right, left)
+    if isinstance(left, (SymBool, SymBV, SymEnum)):
+        return left == right  # type: ignore[return-value]
+    if hasattr(left, "_eq_value"):
+        return left._eq_value(right)
+    raise SymbolicError(f"cannot compare values of type {type(left).__name__}")

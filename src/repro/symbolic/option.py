@@ -1,0 +1,125 @@
+"""Symbolic optional values.
+
+Routing algebras use a distinguished "no route" element (written ``∞`` in the
+paper).  We model routes as ``Option[payload]``: a symbolic boolean
+``is_some`` plus a payload value that is meaningful only when ``is_some``
+holds.  This mirrors Zen's ``Option<T>`` and keeps merge/transfer functions
+total.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SymbolicError
+from repro.smt.model import Model
+from repro.symbolic.generic import ite_value, values_equal
+from repro.symbolic.values import SymBool
+
+
+class SymOption:
+    """A symbolic value that is either absent (``∞``) or a payload."""
+
+    __slots__ = ("is_some", "payload")
+
+    def __init__(self, is_some: SymBool | bool, payload: Any) -> None:
+        self.is_some = SymBool.lift(is_some)
+        self.payload = payload
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def some(payload: Any) -> "SymOption":
+        return SymOption(SymBool.true(), payload)
+
+    @staticmethod
+    def none(filler_payload: Any) -> "SymOption":
+        """The absent value.  ``filler_payload`` is an arbitrary don't-care payload."""
+        return SymOption(SymBool.false(), filler_payload)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def is_none(self) -> SymBool:
+        return ~self.is_some
+
+    def value_or(self, default: Any) -> Any:
+        return ite_value(self.is_some, self.payload, default)
+
+    def match(self, if_none: Any, if_some: Callable[[Any], Any]) -> Any:
+        """Case analysis producing any symbolic value kind."""
+        return ite_value(self.is_some, if_some(self.payload), if_none)
+
+    def map(self, mapper: Callable[[Any], Any]) -> "SymOption":
+        """Apply ``mapper`` to the payload, preserving absence."""
+        return SymOption(self.is_some, mapper(self.payload))
+
+    def bind(self, mapper: Callable[[Any], "SymOption"]) -> "SymOption":
+        """Monadic bind: absent stays absent, present may become absent."""
+        mapped = mapper(self.payload)
+        if not isinstance(mapped, SymOption):
+            raise SymbolicError("bind mapper must return a SymOption")
+        return SymOption(self.is_some & mapped.is_some, mapped.payload)
+
+    def where(self, predicate: Callable[[Any], SymBool]) -> "SymOption":
+        """Drop the payload (become ``∞``) unless ``predicate`` holds of it."""
+        return SymOption(self.is_some & predicate(self.payload), self.payload)
+
+    # -- generic protocol ---------------------------------------------------------
+
+    def _select(self, cond: SymBool, other: "SymOption") -> "SymOption":
+        if not isinstance(other, SymOption):
+            raise SymbolicError("ite branches must both be options")
+        return SymOption(
+            cond.ite(self.is_some, other.is_some),
+            ite_value(cond, self.payload, other.payload),
+        )
+
+    def _eq_value(self, other: "SymOption") -> SymBool:
+        if not isinstance(other, SymOption):
+            raise SymbolicError("cannot compare an option with a non-option")
+        payloads_equal = values_equal(self.payload, other.payload)
+        return self.is_some.iff(other.is_some) & (self.is_none | payloads_equal)
+
+    def __eq__(self, other: object) -> SymBool:  # type: ignore[override]
+        if not isinstance(other, SymOption):
+            return SymBool.false()
+        return self._eq_value(other)
+
+    def __ne__(self, other: object) -> SymBool:  # type: ignore[override]
+        return ~self._eq_value(other)  # type: ignore[arg-type]
+
+    def __hash__(self) -> int:
+        return hash((self.is_some.term, id(self.payload)))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def is_concrete(self) -> bool:
+        if not self.is_some.is_concrete():
+            return False
+        if not self.is_some.concrete_value():
+            return True
+        return _payload_is_concrete(self.payload)
+
+    def eval(self, model: Model) -> Any:
+        """Evaluate under a model to ``None`` or the payload's Python value."""
+        if not self.is_some.eval(model):
+            return None
+        return _payload_eval(self.payload, model)
+
+    def __repr__(self) -> str:
+        return f"SymOption(is_some={self.is_some!r})"
+
+
+def _payload_is_concrete(payload: Any) -> bool:
+    probe = getattr(payload, "is_concrete", None)
+    if probe is None:
+        raise SymbolicError(f"payload {payload!r} does not support concreteness checks")
+    return bool(probe())
+
+
+def _payload_eval(payload: Any, model: Model) -> Any:
+    probe = getattr(payload, "eval", None)
+    if probe is None:
+        raise SymbolicError(f"payload {payload!r} does not support model evaluation")
+    return probe(model)

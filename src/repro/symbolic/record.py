@@ -1,0 +1,146 @@
+"""Symbolic records with named fields.
+
+Routes in realistic protocols are records (the paper's eBGP route has seven
+fields — Table 3).  A :class:`SymRecord` is an immutable bundle of named
+symbolic values with attribute-style access (``route.lp``), functional update
+(:meth:`with_fields`) and the generic ``_select``/``_eq_value`` protocol so
+whole routes can be selected by merge functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import SymbolicError
+from repro.smt.model import Model
+from repro.symbolic.generic import _lift_like, ite_value, values_equal
+from repro.symbolic.values import SymBool, all_of
+
+
+class SymRecord:
+    """An immutable record of named symbolic fields."""
+
+    __slots__ = ("_type_name", "_fields")
+
+    def __init__(self, type_name: str, fields: Mapping[str, Any]) -> None:
+        if not fields:
+            raise SymbolicError(f"record {type_name!r} must have at least one field")
+        object.__setattr__(self, "_type_name", type_name)
+        object.__setattr__(self, "_fields", dict(fields))
+
+    # -- field access -------------------------------------------------------------
+
+    @property
+    def type_name(self) -> str:
+        return self._type_name
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(self._fields)
+
+    def field(self, name: str) -> Any:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise SymbolicError(
+                f"record {self._type_name!r} has no field {name!r}; "
+                f"fields are {list(self._fields)}"
+            ) from None
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.field(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise SymbolicError("records are immutable; use with_fields(...) instead")
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._fields.items())
+
+    def with_fields(self, **updates: Any) -> "SymRecord":
+        """A copy of this record with the given fields replaced.
+
+        Plain Python ``bool``/``int``/``str`` values are lifted to the symbolic
+        kind of the field they replace, so policies can write
+        ``route.with_fields(lp=200, tag=True)``.
+        """
+        unknown = set(updates) - set(self._fields)
+        if unknown:
+            raise SymbolicError(
+                f"record {self._type_name!r} has no fields {sorted(unknown)}"
+            )
+        merged = dict(self._fields)
+        for name, value in updates.items():
+            merged[name] = _lift_like(value, self._fields[name])
+        return SymRecord(self._type_name, merged)
+
+    # -- generic protocol -----------------------------------------------------------
+
+    def _check_compatible(self, other: "SymRecord") -> None:
+        if not isinstance(other, SymRecord) or other.field_names != self.field_names:
+            raise SymbolicError(
+                f"incompatible records: {self._type_name!r} vs "
+                f"{getattr(other, '_type_name', type(other).__name__)!r}"
+            )
+
+    def _select(self, cond: SymBool, other: "SymRecord") -> "SymRecord":
+        self._check_compatible(other)
+        return SymRecord(
+            self._type_name,
+            {name: ite_value(cond, value, other._fields[name]) for name, value in self._fields.items()},
+        )
+
+    def _eq_value(self, other: "SymRecord") -> SymBool:
+        self._check_compatible(other)
+        return all_of(
+            values_equal(value, other._fields[name]) for name, value in self._fields.items()
+        )
+
+    def __eq__(self, other: object) -> SymBool:  # type: ignore[override]
+        if not isinstance(other, SymRecord):
+            return SymBool.false()
+        return self._eq_value(other)
+
+    def __ne__(self, other: object) -> SymBool:  # type: ignore[override]
+        return ~self._eq_value(other)  # type: ignore[arg-type]
+
+    def __hash__(self) -> int:
+        return hash((self._type_name, tuple(self._fields)))
+
+    # -- inspection -------------------------------------------------------------------
+
+    def is_concrete(self) -> bool:
+        return all(_is_concrete(value) for value in self._fields.values())
+
+    def eval(self, model: Model) -> dict[str, Any]:
+        """Evaluate every field under a model, returning plain Python values."""
+        return {name: _eval(value, model) for name, value in self._fields.items()}
+
+    def concrete_value(self) -> dict[str, Any]:
+        """Extract plain Python values from a fully concrete record."""
+        return {name: _concrete(value) for name, value in self._fields.items()}
+
+    def __repr__(self) -> str:
+        return f"SymRecord({self._type_name}, fields={list(self._fields)})"
+
+
+def _is_concrete(value: Any) -> bool:
+    probe = getattr(value, "is_concrete", None)
+    if probe is None:
+        raise SymbolicError(f"field value {value!r} does not support concreteness checks")
+    return bool(probe())
+
+
+def _eval(value: Any, model: Model) -> Any:
+    probe = getattr(value, "eval", None)
+    if probe is None:
+        raise SymbolicError(f"field value {value!r} does not support model evaluation")
+    return probe(model)
+
+
+def _concrete(value: Any) -> Any:
+    probe = getattr(value, "concrete_value", None)
+    if probe is None:
+        raise SymbolicError(f"field value {value!r} does not support concrete extraction")
+    return probe()

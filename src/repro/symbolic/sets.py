@@ -1,0 +1,158 @@
+"""Symbolic finite sets over a fixed universe of named elements.
+
+BGP communities are modelled in the paper as a ``set<string>`` (Table 3).
+Because the set of community strings that any given benchmark manipulates is
+known statically, we encode a set as one membership boolean per universe
+element — the standard finite-set encoding used by Minesweeper and NV.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SymbolicError
+from repro.smt.model import Model
+from repro.symbolic.context import fresh_name
+from repro.symbolic.values import SymBool, all_of
+
+
+class SymSet:
+    """A symbolic subset of a fixed, ordered universe of element names."""
+
+    __slots__ = ("universe", "_membership")
+
+    def __init__(self, universe: tuple[str, ...], membership: Mapping[str, SymBool]) -> None:
+        if set(universe) != set(membership):
+            raise SymbolicError("membership map must cover exactly the universe")
+        self.universe = tuple(universe)
+        self._membership = {name: membership[name] for name in self.universe}
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def empty(universe: Iterable[str]) -> "SymSet":
+        names = tuple(universe)
+        return SymSet(names, {name: SymBool.false() for name in names})
+
+    @staticmethod
+    def of(universe: Iterable[str], members: Iterable[str]) -> "SymSet":
+        names = tuple(universe)
+        wanted = set(members)
+        unknown = wanted - set(names)
+        if unknown:
+            raise SymbolicError(f"elements {sorted(unknown)} are not in the set universe")
+        return SymSet(names, {name: SymBool.constant(name in wanted) for name in names})
+
+    @staticmethod
+    def fresh(universe: Iterable[str], prefix: str = "set") -> "SymSet":
+        names = tuple(universe)
+        base = fresh_name(prefix)
+        return SymSet(names, {name: SymBool.variable(f"{base}.{name}") for name in names})
+
+    # -- queries ----------------------------------------------------------------
+
+    def contains(self, element: str) -> SymBool:
+        self._check_element(element)
+        return self._membership[element]
+
+    def __contains__(self, element: str) -> SymBool:  # type: ignore[override]
+        return self.contains(element)
+
+    def is_empty(self) -> SymBool:
+        return all_of(~flag for flag in self._membership.values())
+
+    def is_subset_of(self, other: "SymSet") -> SymBool:
+        self._check_universe(other)
+        return all_of(
+            self._membership[name].implies(other._membership[name]) for name in self.universe
+        )
+
+    # -- updates ----------------------------------------------------------------
+
+    def add(self, element: str) -> "SymSet":
+        self._check_element(element)
+        updated = dict(self._membership)
+        updated[element] = SymBool.true()
+        return SymSet(self.universe, updated)
+
+    def remove(self, element: str) -> "SymSet":
+        self._check_element(element)
+        updated = dict(self._membership)
+        updated[element] = SymBool.false()
+        return SymSet(self.universe, updated)
+
+    def union(self, other: "SymSet") -> "SymSet":
+        self._check_universe(other)
+        return SymSet(
+            self.universe,
+            {name: self._membership[name] | other._membership[name] for name in self.universe},
+        )
+
+    def intersection(self, other: "SymSet") -> "SymSet":
+        self._check_universe(other)
+        return SymSet(
+            self.universe,
+            {name: self._membership[name] & other._membership[name] for name in self.universe},
+        )
+
+    def difference(self, other: "SymSet") -> "SymSet":
+        self._check_universe(other)
+        return SymSet(
+            self.universe,
+            {name: self._membership[name] & ~other._membership[name] for name in self.universe},
+        )
+
+    # -- generic protocol ---------------------------------------------------------
+
+    def _select(self, cond: SymBool, other: "SymSet") -> "SymSet":
+        self._check_universe(other)
+        return SymSet(
+            self.universe,
+            {
+                name: cond.ite(self._membership[name], other._membership[name])
+                for name in self.universe
+            },
+        )
+
+    def _eq_value(self, other: "SymSet") -> SymBool:
+        self._check_universe(other)
+        return all_of(
+            self._membership[name].iff(other._membership[name]) for name in self.universe
+        )
+
+    def __eq__(self, other: object) -> SymBool:  # type: ignore[override]
+        if not isinstance(other, SymSet):
+            return SymBool.false()
+        return self._eq_value(other)
+
+    def __ne__(self, other: object) -> SymBool:  # type: ignore[override]
+        return ~self._eq_value(other)  # type: ignore[arg-type]
+
+    def __hash__(self) -> int:
+        return hash((self.universe, tuple(flag.term for flag in self._membership.values())))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def is_concrete(self) -> bool:
+        return all(flag.is_concrete() for flag in self._membership.values())
+
+    def concrete_value(self) -> frozenset[str]:
+        return frozenset(
+            name for name, flag in self._membership.items() if flag.concrete_value()
+        )
+
+    def eval(self, model: Model) -> frozenset[str]:
+        return frozenset(name for name, flag in self._membership.items() if flag.eval(model))
+
+    def __repr__(self) -> str:
+        return f"SymSet({list(self.universe)!r})"
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_element(self, element: str) -> None:
+        if element not in self._membership:
+            raise SymbolicError(f"element {element!r} is not in the set universe {self.universe}")
+
+    def _check_universe(self, other: "SymSet") -> None:
+        if self.universe != other.universe:
+            raise SymbolicError("set operations require identical universes")

@@ -1,0 +1,233 @@
+"""Shapes: runtime type descriptors for symbolic values.
+
+A *shape* describes the structure of a symbolic value kind — boolean,
+bitvector of a given width, enumeration, option, finite set or record — and
+provides the operations the verification engine needs uniformly across all
+of them:
+
+* :meth:`Shape.fresh` — allocate a fresh symbolic value (used for the
+  per-neighbour routes in the inductive condition and for network-level
+  symbolic variables);
+* :meth:`Shape.constant` — lift a plain Python value;
+* :meth:`Shape.default` — an arbitrary but fixed concrete value (used as the
+  don't-care payload of absent options);
+* :meth:`Shape.constraint` — a well-formedness predicate (e.g. an enum index
+  must denote a declared member);
+* :meth:`Shape.eval` — read a Python value back out of a solver model, for
+  counterexample reporting.
+
+Shapes are to this library what Zen's type representation is to Timepiece.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SymbolicError
+from repro.smt.model import Model
+from repro.symbolic.option import SymOption
+from repro.symbolic.record import SymRecord
+from repro.symbolic.sets import SymSet
+from repro.symbolic.values import EnumType, SymBV, SymBool, SymEnum, all_of
+
+
+class Shape:
+    """Base class for shapes."""
+
+    def fresh(self, prefix: str) -> Any:
+        raise NotImplementedError
+
+    def constant(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        raise NotImplementedError
+
+    def constraint(self, value: Any) -> SymBool:
+        """Well-formedness constraint; true for most shapes."""
+        return SymBool.true()
+
+    def eval(self, value: Any, model: Model) -> Any:
+        raise NotImplementedError
+
+
+class BoolShape(Shape):
+    """Shape of symbolic booleans."""
+
+    def fresh(self, prefix: str) -> SymBool:
+        return SymBool.fresh(prefix)
+
+    def constant(self, value: Any) -> SymBool:
+        return SymBool.lift(bool(value))
+
+    def default(self) -> SymBool:
+        return SymBool.false()
+
+    def eval(self, value: SymBool, model: Model) -> bool:
+        return value.eval(model)
+
+    def __repr__(self) -> str:
+        return "BoolShape()"
+
+
+class BitVecShape(Shape):
+    """Shape of symbolic unsigned bitvectors of a fixed width."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise SymbolicError(f"bitvector width must be positive, got {width}")
+        self.width = width
+
+    def fresh(self, prefix: str) -> SymBV:
+        return SymBV.fresh(self.width, prefix)
+
+    def constant(self, value: Any) -> SymBV:
+        return SymBV.constant(int(value), self.width)
+
+    def default(self) -> SymBV:
+        return SymBV.constant(0, self.width)
+
+    def eval(self, value: SymBV, model: Model) -> int:
+        return value.eval(model)
+
+    def __repr__(self) -> str:
+        return f"BitVecShape({self.width})"
+
+
+class EnumShape(Shape):
+    """Shape of symbolic members of an :class:`EnumType`."""
+
+    def __init__(self, enum_type: EnumType) -> None:
+        self.enum_type = enum_type
+
+    def fresh(self, prefix: str) -> SymEnum:
+        return self.enum_type.fresh(prefix)
+
+    def constant(self, value: Any) -> SymEnum:
+        return self.enum_type.constant(str(value))
+
+    def default(self) -> SymEnum:
+        return self.enum_type.constant(self.enum_type.members[0])
+
+    def constraint(self, value: SymEnum) -> SymBool:
+        return self.enum_type.in_range(value)
+
+    def eval(self, value: SymEnum, model: Model) -> str:
+        return value.eval(model)
+
+    def __repr__(self) -> str:
+        return f"EnumShape({self.enum_type.name})"
+
+
+class SetShape(Shape):
+    """Shape of symbolic finite sets over a fixed universe."""
+
+    def __init__(self, universe: Iterable[str]) -> None:
+        self.universe = tuple(universe)
+
+    def fresh(self, prefix: str) -> SymSet:
+        return SymSet.fresh(self.universe, prefix)
+
+    def constant(self, value: Any) -> SymSet:
+        return SymSet.of(self.universe, value)
+
+    def default(self) -> SymSet:
+        return SymSet.empty(self.universe)
+
+    def eval(self, value: SymSet, model: Model) -> frozenset[str]:
+        return value.eval(model)
+
+    def __repr__(self) -> str:
+        return f"SetShape({list(self.universe)!r})"
+
+
+class RecordShape(Shape):
+    """Shape of symbolic records with the given named fields."""
+
+    def __init__(self, type_name: str, fields: Mapping[str, Shape]) -> None:
+        if not fields:
+            raise SymbolicError(f"record shape {type_name!r} needs at least one field")
+        self.type_name = type_name
+        self.fields = dict(fields)
+
+    def fresh(self, prefix: str) -> SymRecord:
+        return SymRecord(
+            self.type_name,
+            {name: shape.fresh(f"{prefix}.{name}") for name, shape in self.fields.items()},
+        )
+
+    def constant(self, value: Any) -> SymRecord:
+        if not isinstance(value, Mapping):
+            raise SymbolicError(f"record constant must be a mapping, got {type(value).__name__}")
+        missing = set(self.fields) - set(value)
+        if missing:
+            raise SymbolicError(f"record constant missing fields {sorted(missing)}")
+        return SymRecord(
+            self.type_name,
+            {name: shape.constant(value[name]) for name, shape in self.fields.items()},
+        )
+
+    def default(self) -> SymRecord:
+        return SymRecord(
+            self.type_name, {name: shape.default() for name, shape in self.fields.items()}
+        )
+
+    def constraint(self, value: SymRecord) -> SymBool:
+        return all_of(
+            shape.constraint(value.field(name)) for name, shape in self.fields.items()
+        )
+
+    def eval(self, value: SymRecord, model: Model) -> dict[str, Any]:
+        return {name: shape.eval(value.field(name), model) for name, shape in self.fields.items()}
+
+    def __repr__(self) -> str:
+        return f"RecordShape({self.type_name!r}, fields={list(self.fields)})"
+
+
+class OptionShape(Shape):
+    """Shape of optional values over an inner shape."""
+
+    def __init__(self, inner: Shape) -> None:
+        self.inner = inner
+
+    def fresh(self, prefix: str) -> SymOption:
+        return SymOption(SymBool.fresh(f"{prefix}.some"), self.inner.fresh(f"{prefix}.value"))
+
+    def constant(self, value: Any) -> SymOption:
+        if value is None:
+            return SymOption.none(self.inner.default())
+        return SymOption.some(self.inner.constant(value))
+
+    def none(self) -> SymOption:
+        """The concrete absent value (the paper's ``∞``)."""
+        return SymOption.none(self.inner.default())
+
+    def some(self, value: Any) -> SymOption:
+        """A present value built from a Python value or a symbolic payload."""
+        if isinstance(value, (SymBool, SymBV, SymEnum, SymRecord, SymSet)):
+            return SymOption.some(value)
+        return SymOption.some(self.inner.constant(value))
+
+    def default(self) -> SymOption:
+        return self.none()
+
+    def constraint(self, value: SymOption) -> SymBool:
+        return value.is_none | self.inner.constraint(value.payload)
+
+    def eval(self, value: SymOption, model: Model) -> Any:
+        if not value.is_some.eval(model):
+            return None
+        return self.inner.eval(value.payload, model)
+
+    def __repr__(self) -> str:
+        return f"OptionShape({self.inner!r})"
+
+
+def record(type_name: str, **fields: Shape) -> RecordShape:
+    """Convenience constructor: ``record("Route", lp=BitVecShape(8), ...)``."""
+    return RecordShape(type_name, fields)
+
+
+def enum(name: str, members: Sequence[str]) -> EnumShape:
+    """Convenience constructor for an enumeration shape."""
+    return EnumShape(EnumType(name, members))

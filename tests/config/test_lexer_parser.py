@@ -1,0 +1,151 @@
+"""Tests for the policy-DSL lexer and parser."""
+
+import pytest
+
+from repro.config import parse_config, tokenize
+from repro.config.tokens import TokenKind
+from repro.errors import ConfigSyntaxError
+
+SAMPLE = """
+# A small but complete configuration.
+community BTE members 65535:666;
+community GOLD members 65535:1;
+
+prefix-list internal { 10; 11; }
+
+policy-statement import-peer {
+    term reject-internal {
+        from { prefix-list internal; }
+        then { reject; }
+    }
+    term classify {
+        from { community GOLD; prefix 99; }
+        then {
+            set local-preference 200;
+            set med 5;
+            add community GOLD;
+            remove community BTE;
+            prepend as-path 2;
+            accept;
+        }
+    }
+    term default {
+        then { accept; }
+    }
+}
+
+router edge1 {
+    announce prefix 10;
+    neighbor edge2 { import import-peer; export import-peer; }
+    neighbor peer1 { import import-peer; }
+}
+
+router peer1 {
+    external;
+    neighbor edge1 { }
+}
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("policy-statement x { term t { then { accept; } } }")
+        kinds = [token.kind for token in tokens]
+        assert kinds[0] == TokenKind.IDENTIFIER
+        assert TokenKind.LEFT_BRACE in kinds
+        assert TokenKind.SEMICOLON in kinds
+        assert kinds[-1] == TokenKind.EOF
+
+    def test_numbers_and_community_values(self):
+        tokens = tokenize("10 65535:666 hello-world a.b.c")
+        assert tokens[0].kind == TokenKind.NUMBER and tokens[0].text == "10"
+        assert tokens[1].kind == TokenKind.IDENTIFIER and tokens[1].text == "65535:666"
+        assert tokens[2].text == "hello-world"
+        assert tokens[3].text == "a.b.c"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("# line comment\n/* block\ncomment */ router")
+        assert tokens[0].text == "router"
+
+    def test_string_literals(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_lexical_errors(self):
+        with pytest.raises(ConfigSyntaxError):
+            tokenize("router @")
+        with pytest.raises(ConfigSyntaxError):
+            tokenize('"unterminated')
+        with pytest.raises(ConfigSyntaxError):
+            tokenize("/* unterminated")
+
+
+class TestParser:
+    def test_full_sample_parses(self):
+        config = parse_config(SAMPLE)
+        assert [c.name for c in config.communities] == ["BTE", "GOLD"]
+        assert config.prefix_lists[0].prefixes == (10, 11)
+        assert config.policy_names() == ["import-peer"]
+        assert config.router_names() == ["edge1", "peer1"]
+
+    def test_policy_structure(self):
+        config = parse_config(SAMPLE)
+        policy = config.policies[0]
+        assert [term.name for term in policy.terms] == ["reject-internal", "classify", "default"]
+        classify = policy.terms[1]
+        assert {match.kind for match in classify.matches} == {"community", "prefix"}
+        kinds = [action.kind for action in classify.actions]
+        assert kinds == ["set-lp", "set-med", "add-community", "remove-community", "prepend", "accept"]
+        assert classify.terminal_action is not None
+        assert classify.terminal_action.kind == "accept"
+
+    def test_router_structure(self):
+        config = parse_config(SAMPLE)
+        edge1, peer1 = config.routers
+        assert edge1.announced_prefixes == (10,)
+        assert not edge1.external
+        assert [n.name for n in edge1.neighbors] == ["edge2", "peer1"]
+        assert edge1.neighbors[0].import_policy == "import-peer"
+        assert edge1.neighbors[1].export_policy is None
+        assert peer1.external
+        assert peer1.neighbors[0].import_policy is None
+
+    def test_statistics(self):
+        stats = parse_config(SAMPLE).statistics()
+        assert stats["communities"] == 2
+        assert stats["policies"] == 1
+        assert stats["terms"] == 3
+        assert stats["routers"] == 2
+        assert stats["sessions"] == 3
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "bogus-top-level;",
+            "community X members;",
+            "prefix-list P { nope; }",
+            "policy-statement P { term t { then { accept } } }",  # missing semicolon
+            "policy-statement P { term t { then { explode; } } }",
+            "policy-statement P { term t { from { bogus x; } then { accept; } } }",
+            "policy-statement P { term t { then { set colour 3; } } }",
+            "router r { neighbor n { paint red; } }",
+            "router r { announce 10; }",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config(source)
+
+    def test_error_locations_reported(self):
+        try:
+            parse_config("router r {\n  bogus;\n}")
+        except ConfigSyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected a syntax error")

@@ -1,0 +1,229 @@
+"""Tests for semantic analysis, policy compilation and the WAN generator."""
+
+import pytest
+
+from repro.config import (
+    BTE_COMMUNITY,
+    WanParameters,
+    analyze,
+    generate_wan_config,
+    load_config,
+    parse_config,
+)
+from repro.errors import BenchmarkError, ConfigSemanticError
+from repro.routing import simulate
+
+VALID = """
+community GOLD members 65535:1;
+prefix-list internal { 10; }
+policy-statement keep { term all { then { accept; } } }
+router a {
+    announce prefix 10;
+    neighbor b { import keep; export keep; }
+}
+router b {
+    neighbor a { import keep; export keep; }
+}
+"""
+
+
+class TestSemantics:
+    def test_valid_configuration(self):
+        resolved = analyze(parse_config(VALID))
+        assert resolved.internal_routers == ("a", "b")
+        assert resolved.external_routers == ()
+        assert resolved.community_names == ("GOLD",)
+        assert resolved.prefixes_in_list("internal") == (10,)
+
+    def test_implicit_external_routers(self):
+        source = VALID + "\nrouter c { neighbor mystery { import keep; } }\n"
+        resolved = analyze(parse_config(source))
+        assert "mystery" in resolved.external_routers
+        assert "mystery" in resolved.all_nodes
+
+    @pytest.mark.parametrize(
+        "snippet,message_part",
+        [
+            ("community GOLD members 65535:2;", "duplicate community"),
+            ("policy-statement keep { term all { then { accept; } } }", "duplicate policy"),
+            ("router a { }", "duplicate router"),
+            (
+                "policy-statement empty { }",
+                "no terms",
+            ),
+            (
+                "policy-statement bad { term t { from { community NOPE; } then { accept; } } }",
+                "undeclared",
+            ),
+            (
+                "policy-statement bad { term t { from { prefix-list nope; } then { accept; } } }",
+                "undeclared",
+            ),
+            (
+                "policy-statement bad { term t { then { add community NOPE; accept; } } }",
+                "undeclared",
+            ),
+            (
+                "policy-statement bad { term t { then { set med 3; } } }",
+                "never accepts",
+            ),
+            ("router z { neighbor z { import keep; } }", "itself"),
+            ("router z { neighbor a { import missing-policy; } }", "undeclared policy"),
+        ],
+    )
+    def test_semantic_errors(self, snippet, message_part):
+        with pytest.raises(ConfigSemanticError) as excinfo:
+            analyze(parse_config(VALID + "\n" + snippet))
+        assert message_part.split()[0] in str(excinfo.value)
+
+    def test_duplicate_terms_rejected(self):
+        source = """
+        policy-statement p {
+            term t { then { accept; } }
+            term t { then { reject; } }
+        }
+        """
+        with pytest.raises(ConfigSemanticError):
+            analyze(parse_config(source))
+
+
+POLICY_BEHAVIOUR = """
+community GOLD members 65535:1;
+community BTE members 65535:666;
+prefix-list internal { 10; 11; }
+
+policy-statement shape {
+    term reject-internal {
+        from { prefix-list internal; }
+        then { reject; }
+    }
+    term boost-gold {
+        from { community GOLD; }
+        then { set local-preference 200; add community BTE; accept; }
+    }
+    term tag-prefix-99 {
+        from { prefix 99; }
+        then { prepend as-path 3; accept; }
+    }
+}
+
+router a {
+    announce prefix 20;
+    neighbor b { export shape; }
+}
+router b {
+    neighbor a { }
+}
+"""
+
+
+class TestPolicyCompilation:
+    def _compiled(self):
+        return load_config(POLICY_BEHAVIOUR)
+
+    def _route(self, compiled, **overrides):
+        values = compiled.family.default_announcement()
+        values.update(overrides)
+        return compiled.family.route.some(values)
+
+    def test_first_match_reject(self):
+        compiled = self._compiled()
+        shape = compiled.policies["shape"]
+        assert shape(self._route(compiled, prefix=10)).is_none.concrete_value() is True
+        assert shape(self._route(compiled, prefix=11)).is_none.concrete_value() is True
+
+    def test_actions_applied_on_match(self):
+        compiled = self._compiled()
+        shape = compiled.policies["shape"]
+        boosted = shape(self._route(compiled, prefix=20, communities=("GOLD",)))
+        assert boosted.is_some.concrete_value() is True
+        assert boosted.payload.lp.concrete_value() == 200
+        assert boosted.payload.communities.contains("BTE").concrete_value() is True
+
+    def test_prepend_and_prefix_match(self):
+        compiled = self._compiled()
+        shape = compiled.policies["shape"]
+        prepended = shape(self._route(compiled, prefix=99, as_path_length=1))
+        assert prepended.payload.as_path_length.concrete_value() == 4
+
+    def test_default_reject_when_no_term_matches(self):
+        compiled = self._compiled()
+        shape = compiled.policies["shape"]
+        unmatched = shape(self._route(compiled, prefix=20))
+        assert unmatched.is_none.concrete_value() is True
+
+    def test_absent_routes_stay_absent(self):
+        compiled = self._compiled()
+        shape = compiled.policies["shape"]
+        assert shape(compiled.family.route.none()).is_none.concrete_value() is True
+
+    def test_compiled_network_structure(self):
+        compiled = self._compiled()
+        topology = compiled.network.topology
+        assert topology.has_edge("a", "b") and topology.has_edge("b", "a")
+        assert compiled.internal_nodes == ("a", "b")
+
+    def test_transfer_composes_export_and_increment(self):
+        compiled = self._compiled()
+        outgoing = compiled.network.transfer(
+            ("a", "b"), self._route(compiled, prefix=20, communities=("GOLD",))
+        )
+        # export sets lp=200 and adds BTE, then the session adds one hop.
+        assert outgoing.payload.lp.concrete_value() == 200
+        assert outgoing.payload.as_path_length.concrete_value() == 1
+
+
+class TestGeneratorAndSimulation:
+    def test_generated_config_is_well_formed(self):
+        parameters = WanParameters(internal_routers=5, external_peers=7)
+        resolved = analyze(parse_config(generate_wan_config(parameters)))
+        assert len(resolved.internal_routers) == 5
+        assert len(resolved.external_routers) == 7
+        assert BTE_COMMUNITY in resolved.community_names
+
+    def test_generator_parameter_validation(self):
+        with pytest.raises(BenchmarkError):
+            WanParameters(internal_routers=2)
+        with pytest.raises(BenchmarkError):
+            WanParameters(external_peers=0)
+
+    def test_buggy_variant_differs(self):
+        clean = generate_wan_config(WanParameters(internal_routers=4, external_peers=4))
+        buggy = generate_wan_config(WanParameters(internal_routers=4, external_peers=4, buggy=True))
+        assert "export-to-external-buggy" in buggy
+        assert "export-to-external-buggy" not in clean
+
+    def test_closed_generated_network_simulates(self):
+        """With concrete initial routes the compiled WAN converges."""
+        parameters = WanParameters(internal_routers=4, external_peers=4)
+        compiled = load_config(generate_wan_config(parameters))
+        # Externals have symbolic announcements, so bind them closed first.
+        closed = load_config(
+            generate_wan_config(parameters), symbolic_internal_initials=False
+        )
+        # Replace external symbolic announcements by "no route" for simulation.
+        network = closed.network
+        from repro.routing import Network
+
+        concrete = Network(
+            topology=network.topology,
+            route_shape=network.route_shape,
+            initial_routes=lambda node: (
+                closed.family.route.none()
+                if node in closed.external_nodes
+                else network.initial_route(node)
+            ),
+            transfer_functions=network.transfer_function,
+            merge=network.merge,
+        )
+        trace = simulate(concrete, max_rounds=40)
+        assert trace.converged
+        stable = trace.stable_state()
+        # Every external peer hears some internal prefix.
+        externals_with_routes = [node for node in closed.external_nodes if stable[node] is not None]
+        assert externals_with_routes
+        # No external peer ever sees the BTE community in the stable state.
+        for node in closed.external_nodes:
+            if stable[node] is not None:
+                assert BTE_COMMUNITY not in stable[node]["communities"]
+        assert compiled.network.topology.node_count == concrete.topology.node_count

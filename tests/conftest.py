@@ -1,0 +1,14 @@
+"""Shared pytest configuration for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.symbolic import reset_fresh_names
+
+
+@pytest.fixture(autouse=True)
+def _fresh_symbolic_names():
+    """Keep symbolic variable names deterministic within each test."""
+    reset_fresh_names()
+    yield

@@ -1,0 +1,211 @@
+"""Tests for the monolithic baseline plus the soundness/completeness theorems.
+
+The final two test classes exercise the paper's Theorem 3.1 (soundness: any
+interface accepted by the modular checker contains every simulated state) and
+Theorem 3.3 (closed-network completeness: the exact simulation states form a
+verifiable interface) on a family of small concrete networks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import core
+from repro.routing import (
+    build_running_example,
+    path_topology,
+    reachability_network,
+    ring_topology,
+    shortest_path_network,
+    simulate,
+    star_topology,
+)
+from repro.symbolic import SymBV
+
+
+class TestMonolithic:
+    def test_monolithic_accepts_running_example_tagging_property(self):
+        example = build_running_example("symbolic")
+        tagged_or_none = lambda r: r.is_none | r.payload.tag  # noqa: E731
+        properties = {node: core.always_true() for node in "nwvd"}
+        properties["e"] = core.globally(tagged_or_none)
+        annotated = core.AnnotatedNetwork(
+            example.network,
+            interfaces={node: core.always_true() for node in example.network.topology.nodes},
+            properties=properties,
+        )
+        report = core.check_monolithic(annotated)
+        assert report.passed
+        assert "PASS" in report.summary()
+
+    def test_monolithic_finds_violations_with_stable_counterexample(self):
+        # Claim every node of a 2-node path reaches n0 even though the link is
+        # missing in one direction: the stable state refutes it.
+        from repro.routing import Topology, Network
+        from repro.symbolic import BitVecShape, OptionShape
+
+        topology = Topology(nodes=["n0", "n1"], edges=[("n1", "n0")])
+        shape = OptionShape(BitVecShape(4))
+        network = Network(
+            topology,
+            shape,
+            initial_routes=lambda node: shape.some(0) if node == "n0" else shape.none(),
+            transfer_functions=lambda edge: (lambda r: r),
+            merge=_first_some,
+        )
+        annotated = core.annotate(
+            network,
+            interfaces={node: core.always_true() for node in topology.nodes},
+            properties={node: core.globally(lambda r: r.is_some) for node in topology.nodes},
+        )
+        report = core.check_monolithic(annotated)
+        assert not report.passed
+        assert report.counterexample is not None
+        assert report.counterexample["n1"] is None
+
+    def test_monolithic_timeout_is_reported(self, monkeypatch):
+        from repro import smt as smt_module
+        from repro.core import monolithic as monolithic_module
+
+        def fake_prove(goal, *assumptions, timeout=None):
+            return smt_module.ProofResult(valid=False, counterexample=None, unknown=True)
+
+        monkeypatch.setattr(monolithic_module.smt, "prove", fake_prove)
+        example = build_running_example("symbolic")
+        annotated = core.annotate(
+            example.network,
+            interfaces={node: core.always_true() for node in example.network.topology.nodes},
+        )
+        report = core.check_monolithic(annotated, timeout=0.001)
+        assert report.timed_out
+        assert "TIMEOUT" in report.summary()
+
+    def test_erased_property_evaluates_at_max_witness(self):
+        topology = path_topology(2)
+        network = shortest_path_network(topology, "n0")
+        annotated = core.annotate(
+            network,
+            interfaces={node: core.always_true() for node in topology.nodes},
+            properties={
+                node: core.finally_(1, core.globally(lambda r: r.is_some))
+                for node in topology.nodes
+            },
+        )
+        route = network.route_shape.none()
+        erased = core.erased_property(annotated, "n1", route)
+        assert erased.concrete_value() is False
+
+
+def _first_some(left, right):
+    from repro.symbolic import ite_value
+
+    return ite_value(left.is_some, left, right)
+
+
+def _reachability_annotation(network, destination, diameter):
+    distances = network.topology.bfs_distances(destination)
+    interfaces = {}
+    for node in network.topology.nodes:
+        if node in distances:
+            interfaces[node] = core.finally_(
+                distances[node], core.globally(lambda r: r.is_some)
+            )
+        else:
+            interfaces[node] = core.globally(lambda r: r.is_none)
+    properties = {
+        node: (
+            core.finally_(diameter, core.globally(lambda r: r.is_some))
+            if node in distances
+            else core.always_true()
+        )
+        for node in network.topology.nodes
+    }
+    return core.AnnotatedNetwork(network, interfaces, properties)
+
+
+NETWORK_CASES = [
+    ("path-4", path_topology(4), "n0"),
+    ("ring-5", ring_topology(5), "n2"),
+    ("star-4", star_topology(4), "hub"),
+]
+
+
+class TestSoundnessTheorem:
+    """Theorem 3.1: verified interfaces contain every simulated state."""
+
+    @pytest.mark.parametrize("name,topology,destination", NETWORK_CASES)
+    def test_simulated_states_satisfy_verified_interfaces(self, name, topology, destination):
+        network = shortest_path_network(topology, destination)
+        annotated = _reachability_annotation(network, destination, topology.diameter())
+        report = core.check_modular(annotated)
+        assert report.passed, f"{name}: {report.failed_nodes}"
+
+        trace = simulate(network)
+        width = annotated.time_width()
+        for time in range(len(trace.states)):
+            for node in topology.nodes:
+                simulated = trace.route_at(node, time)
+                symbolic_route = (
+                    network.route_shape.none()
+                    if simulated is None
+                    else network.route_shape.some(simulated)
+                )
+                holds = annotated.interface(node)(symbolic_route, SymBV.constant(time, width))
+                assert holds.concrete_value(), (name, node, time, simulated)
+
+
+class TestCompletenessTheorem:
+    """Theorem 3.3: the exact simulation states form a valid interface."""
+
+    @pytest.mark.parametrize("name,topology,destination", NETWORK_CASES)
+    def test_exact_interfaces_verify(self, name, topology, destination):
+        network = shortest_path_network(topology, destination)
+        trace = simulate(network)
+        assert trace.converged
+
+        def exact_interface(node):
+            def evaluate(route, time):
+                condition = None
+                for step in range(len(trace.states)):
+                    simulated = trace.route_at(node, step)
+                    symbolic = (
+                        network.route_shape.none()
+                        if simulated is None
+                        else network.route_shape.some(simulated)
+                    )
+                    equal_here = (time == step) if step < len(trace.states) - 1 else (time >= step)
+                    clause = equal_here.implies(_routes_equal(route, symbolic))
+                    condition = clause if condition is None else condition & clause
+                return condition
+
+            return core.TemporalPredicate(evaluate, max_witness=len(trace.states) - 1)
+
+        annotated = core.AnnotatedNetwork(
+            network,
+            interfaces={node: exact_interface(node) for node in topology.nodes},
+            properties={node: core.always_true() for node in topology.nodes},
+        )
+        report = core.check_modular(annotated)
+        assert report.passed, f"{name}: {report.failed_nodes}"
+
+
+def _routes_equal(left, right):
+    from repro.symbolic import values_equal
+
+    return values_equal(left, right)
+
+
+class TestReachabilityAgreement:
+    """The modular verdict agrees with the simulator on random path networks."""
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_reachability_matches_simulation(self, size, destination_index):
+        destination = f"n{min(destination_index, size - 1)}"
+        topology = path_topology(size)
+        network = reachability_network(topology, destination)
+        diameter = topology.diameter()
+        annotated = _reachability_annotation(network, destination, diameter)
+        report = core.check_modular(annotated)
+        stable = simulate(network).stable_state()
+        assert report.passed
+        assert all(value is True for value in stable.values())

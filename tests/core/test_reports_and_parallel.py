@@ -1,0 +1,133 @@
+"""Tests for counterexample rendering, report aggregation and the parallel runner."""
+
+from repro.core.counterexample import Counterexample
+from repro.core.parallel import check_nodes_in_parallel
+from repro.core.results import (
+    ConditionResult,
+    ModularReport,
+    MonolithicReport,
+    NodeReport,
+    merge_reports,
+    percentile,
+)
+from repro import core
+from repro.routing import path_topology, shortest_path_network
+
+
+class TestCounterexampleRendering:
+    def test_describe_mentions_all_parts(self):
+        counterexample = Counterexample(
+            node="v",
+            condition="inductive",
+            time=3,
+            neighbor_routes={"w": {"lp": 100, "len": 1}, "n": None},
+            route={"lp": 100, "len": 2},
+            symbolics={"dest": 4},
+        )
+        text = counterexample.describe()
+        assert "node 'v'" in text
+        assert "t = 3" in text
+        assert "'w' sends ⟨lp=100, len=1⟩" in text
+        assert "'n' sends ∞" in text
+        assert "symbolic 'dest' = 4" in text
+        assert str(counterexample) == text
+
+    def test_describe_for_initial_condition(self):
+        counterexample = Counterexample(node="d", condition="initial", time=0, route=None)
+        text = counterexample.describe()
+        assert "initial" in text and "∞" in text
+
+
+class TestReports:
+    def _result(self, node, holds, duration=0.1):
+        return ConditionResult(node=node, condition="initial", holds=holds, duration=duration)
+
+    def test_node_report_aggregation(self):
+        passing = NodeReport("a", [self._result("a", True)], duration=0.2)
+        failing = NodeReport(
+            "b",
+            [
+                self._result("b", True),
+                ConditionResult(
+                    "b",
+                    "safety",
+                    False,
+                    0.1,
+                    Counterexample(node="b", condition="safety"),
+                ),
+            ],
+            duration=0.3,
+        )
+        assert passing.passed and bool(passing.results[0])
+        assert not failing.passed
+        assert len(failing.failures) == 1
+        assert "FAIL" in failing.describe()
+
+        merged = merge_reports([passing, failing], wall_time=0.5, parallelism=2)
+        assert not merged.passed
+        assert merged.failed_nodes == ["b"]
+        assert merged.total_node_time == 0.5
+        assert len(merged.counterexamples()) == 1
+        assert "FAIL" in merged.summary()
+
+    def test_percentiles(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.5) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_monolithic_report_summaries(self):
+        assert "PASS" in MonolithicReport(passed=True, wall_time=1.0).summary()
+        assert "FAIL" in MonolithicReport(passed=False, wall_time=1.0).summary()
+        assert "TIMEOUT" in MonolithicReport(passed=False, wall_time=1.0, timed_out=True).summary()
+
+    def test_empty_modular_report(self):
+        report = ModularReport(node_reports={}, wall_time=0.0)
+        assert report.passed
+        assert report.max_node_time == 0.0
+
+
+class TestParallelRunner:
+    def _annotated(self):
+        topology = path_topology(3)
+        network = shortest_path_network(topology, "n0")
+        interfaces = {
+            node: core.finally_(index, core.globally(lambda r: r.is_some))
+            for index, node in enumerate(("n0", "n1", "n2"))
+        }
+        return core.annotate(network, interfaces)
+
+    def test_parallel_runner_returns_one_report_per_node(self):
+        annotated = self._annotated()
+        reports = check_nodes_in_parallel(
+            annotated,
+            annotated.nodes,
+            delay=0,
+            jobs=2,
+            conditions=core.CONDITION_KINDS,
+            fail_fast=True,
+        )
+        assert sorted(report.node for report in reports) == sorted(annotated.nodes)
+        assert all(report.passed for report in reports)
+
+    def test_single_job_falls_back_to_sequential(self):
+        annotated = self._annotated()
+        reports = check_nodes_in_parallel(
+            annotated,
+            ("n1",),
+            delay=0,
+            jobs=1,
+            conditions=core.CONDITION_KINDS,
+            fail_fast=True,
+        )
+        assert len(reports) == 1 and reports[0].node == "n1"
+
+    def test_counterexamples_survive_the_process_boundary(self):
+        topology = path_topology(2)
+        network = shortest_path_network(topology, "n0")
+        annotated = core.annotate(
+            network, {node: core.globally(lambda r: r.is_some) for node in topology.nodes}
+        )
+        report = core.check_modular(annotated, jobs=2)
+        assert not report.passed
+        assert report.counterexamples()

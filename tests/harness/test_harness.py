@@ -1,0 +1,114 @@
+"""Tests for the experiment harness: sweeps, tables and the CLI."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    SweepSettings,
+    figure14_table,
+    format_table,
+    ghost_state_table,
+    internet2_table,
+    lines_of_code_table,
+    scaling_table,
+    sweep_fattree,
+    sweep_wan,
+)
+from repro.harness.cli import build_argument_parser, main
+
+
+FAST = SweepSettings(run_monolithic=False)
+
+
+class TestSweeps:
+    def test_fattree_sweep_produces_one_point_per_size(self):
+        results = sweep_fattree("reach", [4], settings=FAST)
+        assert len(results) == 1
+        point = results[0]
+        assert point.benchmark == "SpReach"
+        assert point.nodes == 20
+        assert point.modular is not None and point.modular.passed
+        assert point.monolithic is None
+        row = point.as_row()
+        assert row["tp_pass"] is True
+        assert row["ms_outcome"] == "skipped"
+
+    def test_fattree_sweep_with_monolithic(self):
+        settings = SweepSettings(monolithic_timeout=60)
+        results = sweep_fattree("reach", [4], settings=settings)
+        point = results[0]
+        assert point.monolithic is not None
+        assert point.as_row()["ms_outcome"] in ("pass", "timeout")
+        assert point.modular_wall_time is not None
+        assert point.modular_median is not None
+        assert point.modular_p99 is not None
+
+    def test_wan_sweep(self):
+        results = sweep_wan([4], internal_routers=4, settings=FAST)
+        assert len(results) == 1
+        assert results[0].nodes == 8
+        assert results[0].modular.passed
+
+    def test_all_pairs_sweep(self):
+        results = sweep_fattree("reach", [4], all_pairs=True, settings=FAST)
+        assert results[0].benchmark == "ApReach"
+
+
+class TestTables:
+    def test_format_table_alignment_and_none(self):
+        text = format_table(("a", "bee"), [(1, None), ("xx", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "2.500" in text
+        assert "-" in lines[2]
+
+    def test_scaling_and_figure14_tables(self):
+        results = sweep_fattree("reach", [4], settings=FAST)
+        scaling = scaling_table(results)
+        assert "nodes" in scaling and "20" in scaling
+        figure = figure14_table(results)
+        assert "SpReach" in figure and "Tp median [s]" in figure
+
+    def test_internet2_table(self):
+        results = sweep_wan([4], internal_routers=4, settings=FAST)
+        table = internet2_table(results)
+        assert "external" in table and "8" in table
+
+    def test_ghost_state_table(self):
+        table = ghost_state_table(node_count=20, edge_count=64)
+        assert "reachability to d" in table
+        assert "fault tolerance" in table
+        assert "64" in table
+
+    def test_lines_of_code_table_structure(self):
+        table = lines_of_code_table()
+        for benchmark in ("Reach", "Len", "Vf", "Hijack", "BlockToExternal"):
+            assert benchmark in table
+        assert "interface LoC" in table
+
+
+class TestCli:
+    def test_parser_covers_all_subcommands(self):
+        parser = build_argument_parser()
+        for command in (["table1"], ["table2"], ["figure1", "--pods", "4"], ["internet2"]):
+            assert parser.parse_args(command).command == command[0]
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_table_commands_print(self, capsys):
+        assert main(["table1"]) == 0
+        assert "reachability to d" in capsys.readouterr().out
+        assert main(["table2"]) == 0
+        assert "BlockToExternal" in capsys.readouterr().out
+
+    def test_figure14_command_runs_small_sweep(self, capsys):
+        code = main(["figure14", "--policy", "reach", "--pods", "4", "--skip-monolithic"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SpReach" in output
+
+    def test_internet2_command_runs_small_sweep(self, capsys):
+        code = main(["internet2", "--peers", "4", "--internal", "4", "--skip-monolithic"])
+        assert code == 0
+        assert "BlockToExternal" not in capsys.readouterr().err

@@ -1,0 +1,130 @@
+"""Tests for the fattree benchmark suite (Reach/Len/Vf/Hijack, Sp and Ap)."""
+
+import pytest
+
+from repro import core
+from repro.errors import BenchmarkError
+from repro.networks import HIJACKER, build_benchmark
+from repro.networks.benchmarks import COMPACT_WIDTHS
+from repro.routing import simulate
+
+
+class TestConstruction:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_benchmark("no-such-policy", 4)
+
+    @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
+    def test_single_destination_metadata(self, policy):
+        benchmark = build_benchmark(policy, 4)
+        assert benchmark.policy == policy
+        assert not benchmark.all_pairs
+        assert benchmark.destination is not None
+        expected_nodes = 20 + (1 if policy == "hijack" else 0)
+        assert benchmark.node_count == expected_nodes
+        assert benchmark.annotated.max_witness_time() == 4
+
+    @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
+    def test_all_pairs_metadata(self, policy):
+        benchmark = build_benchmark(policy, 4, all_pairs=True)
+        assert benchmark.all_pairs
+        assert benchmark.destination is None
+        assert benchmark.network.symbolics  # the symbolic destination (and more)
+
+    def test_hijacker_node_attached_to_all_cores(self):
+        benchmark = build_benchmark("hijack", 4)
+        topology = benchmark.network.topology
+        for core_node in benchmark.fattree.core_nodes:
+            assert topology.has_edge(HIJACKER, core_node)
+            assert topology.has_edge(core_node, HIJACKER)
+
+    def test_custom_widths_are_used(self):
+        widths = dict(COMPACT_WIDTHS, prefix_width=6)
+        benchmark = build_benchmark("reach", 4, widths=widths)
+        assert benchmark.family.payload.fields["prefix"].width == 6
+
+
+class TestVerification:
+    @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
+    def test_single_destination_benchmarks_verify(self, policy):
+        benchmark = build_benchmark(policy, 4)
+        report = core.check_modular(benchmark.annotated)
+        assert report.passed, report.counterexamples()[:1]
+
+    @pytest.mark.parametrize("policy", ["reach", "valley_freedom"])
+    def test_all_pairs_benchmarks_verify(self, policy):
+        benchmark = build_benchmark(policy, 4, all_pairs=True)
+        report = core.check_modular(benchmark.annotated)
+        assert report.passed, report.counterexamples()[:1]
+
+    def test_reach_simulation_agrees(self):
+        benchmark = build_benchmark("reach", 4)
+        stable = simulate(benchmark.network).stable_state()
+        assert all(route is not None for route in stable.values())
+        destination_route = stable[benchmark.destination]
+        assert destination_route["as_path_length"] == 0
+
+    def test_length_simulation_within_bounds(self):
+        benchmark = build_benchmark("length", 4)
+        stable = simulate(benchmark.network).stable_state()
+        destination = benchmark.destination
+        for node, route in stable.items():
+            assert route is not None
+            assert route["as_path_length"] == benchmark.fattree.distance_to_destination(
+                node, destination
+            )
+
+    def test_valley_freedom_simulation_has_no_down_tags_on_adjacent_nodes(self):
+        benchmark = build_benchmark("valley_freedom", 4)
+        stable = simulate(benchmark.network).stable_state()
+        destination = benchmark.destination
+        for node, route in stable.items():
+            assert route is not None
+            if benchmark.fattree.adjacent_to_destination(node, destination):
+                assert "down" not in route["communities"]
+
+    def test_reach_with_too_strong_property_fails(self):
+        benchmark = build_benchmark("reach", 4)
+        nodes = benchmark.annotated.nodes
+        too_strong = {
+            node: core.finally_(1, core.globally(lambda r: r.is_some)) for node in nodes
+        }
+        annotated = core.AnnotatedNetwork(
+            benchmark.network,
+            interfaces={node: benchmark.annotated.interface(node) for node in nodes},
+            properties=too_strong,
+        )
+        report = core.check_modular(annotated)
+        assert not report.passed
+
+    def test_broken_valley_freedom_policy_is_caught(self):
+        """Dropping *untagged* routes on up edges breaks reachability."""
+        from repro.routing import Network
+        from repro.routing.bgp import BgpPolicy
+        from repro.networks.benchmarks import DOWN_COMMUNITY
+
+        benchmark = build_benchmark("valley_freedom", 4)
+        fattree = benchmark.fattree
+        network = benchmark.network
+
+        def broken_transfer(edge):
+            source, target = edge
+            if fattree.is_up_edge(source, target):
+                return BgpPolicy(require_communities=(DOWN_COMMUNITY,)).apply
+            return network.transfer_function(edge)
+
+        broken = Network(
+            topology=network.topology,
+            route_shape=network.route_shape,
+            initial_routes=network.initial_route,
+            transfer_functions=broken_transfer,
+            merge=network.merge,
+            symbolics=network.symbolics,
+        )
+        annotated = core.AnnotatedNetwork(
+            broken,
+            interfaces={n: benchmark.annotated.interface(n) for n in benchmark.annotated.nodes},
+            properties={n: benchmark.annotated.node_property(n) for n in benchmark.annotated.nodes},
+        )
+        report = core.check_modular(annotated)
+        assert not report.passed

@@ -1,0 +1,106 @@
+"""Tests for the fattree topology generator and role/distance metadata."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.networks import AGGREGATION, CORE, EDGE, Fattree, fattree_size, pods_for_node_budget
+
+
+class TestStructure:
+    def test_node_and_edge_counts_match_the_paper(self):
+        """A k-fattree has 1.25·k² nodes and k³ directed edges."""
+        for pods in (4, 6, 8):
+            fattree = Fattree(pods)
+            assert fattree.node_count == fattree_size(pods) == int(1.25 * pods * pods)
+            assert fattree.topology.edge_count == pods**3
+
+    def test_pod_count_validation(self):
+        with pytest.raises(BenchmarkError):
+            Fattree(3)
+        with pytest.raises(BenchmarkError):
+            Fattree(0)
+
+    def test_roles_partition_the_nodes(self):
+        fattree = Fattree(4)
+        assert len(fattree.core_nodes) == 4
+        assert len(fattree.aggregation_nodes) == 8
+        assert len(fattree.edge_nodes) == 8
+        assert set(fattree.nodes) == set(
+            fattree.core_nodes + fattree.aggregation_nodes + fattree.edge_nodes
+        )
+
+    def test_pod_metadata(self):
+        fattree = Fattree(4)
+        assert fattree.pod_of("core-0") is None
+        assert fattree.pod_of("agg-2-1") == 2
+        assert fattree.role("edge-3-0") == EDGE
+        assert fattree.role("agg-0-0") == AGGREGATION
+        assert fattree.role("core-1") == CORE
+        assert len(fattree.edge_nodes_of_pod(1)) == 2
+        assert len(fattree.aggregation_nodes_of_pod(1)) == 2
+        with pytest.raises(BenchmarkError):
+            fattree.role("nonexistent")
+
+    def test_wiring(self):
+        fattree = Fattree(4)
+        topology = fattree.topology
+        # Aggregation switches connect to every edge switch of their pod...
+        assert topology.has_edge("agg-0-0", "edge-0-1")
+        assert topology.has_edge("edge-0-1", "agg-0-0")
+        # ...but not to other pods' edge switches.
+        assert not topology.has_edge("agg-0-0", "edge-1-0")
+        # Aggregation switch i connects to core group i.
+        assert topology.has_edge("agg-0-0", "core-0") and topology.has_edge("agg-0-0", "core-1")
+        assert not topology.has_edge("agg-0-0", "core-2")
+        assert topology.has_edge("agg-0-1", "core-2") and topology.has_edge("agg-0-1", "core-3")
+
+    def test_up_down_edge_classification(self):
+        fattree = Fattree(4)
+        assert fattree.is_down_edge("core-0", "agg-0-0")
+        assert fattree.is_down_edge("agg-0-0", "edge-0-0")
+        assert fattree.is_up_edge("edge-0-0", "agg-0-0")
+        assert fattree.is_up_edge("agg-0-0", "core-0")
+        assert not fattree.is_down_edge("edge-0-0", "agg-0-0")
+
+    def test_fattree_is_strongly_connected_with_diameter_four(self):
+        fattree = Fattree(4)
+        assert fattree.topology.is_strongly_connected()
+        assert fattree.topology.diameter() == 4
+
+    def test_pods_for_node_budget(self):
+        assert pods_for_node_budget(20) == [4]
+        assert pods_for_node_budget(100) == [4, 6, 8]
+        assert pods_for_node_budget(10) == []
+
+
+class TestDistances:
+    def test_distance_cases_match_section_6(self):
+        fattree = Fattree(4)
+        destination = "edge-1-1"
+        assert fattree.distance_to_destination(destination, destination) == 0
+        assert fattree.distance_to_destination("agg-1-0", destination) == 1
+        assert fattree.distance_to_destination("core-3", destination) == 2
+        assert fattree.distance_to_destination("edge-1-0", destination) == 2
+        assert fattree.distance_to_destination("agg-0-1", destination) == 3
+        assert fattree.distance_to_destination("edge-3-0", destination) == 4
+
+    def test_distances_agree_with_bfs(self):
+        fattree = Fattree(4)
+        destination = fattree.default_destination()
+        bfs = fattree.topology.bfs_distances(destination)
+        for node in fattree.nodes:
+            assert fattree.distance_to_destination(node, destination) == bfs[node]
+
+    def test_destination_must_be_an_edge_node(self):
+        fattree = Fattree(4)
+        with pytest.raises(BenchmarkError):
+            fattree.distance_to_destination("edge-0-0", "core-0")
+
+    def test_adjacency_to_destination(self):
+        fattree = Fattree(4)
+        destination = "edge-2-0"
+        assert fattree.adjacent_to_destination(destination, destination)
+        assert fattree.adjacent_to_destination("agg-2-1", destination)
+        assert not fattree.adjacent_to_destination("edge-2-1", destination)
+        assert not fattree.adjacent_to_destination("core-0", destination)
+        assert not fattree.adjacent_to_destination("agg-0-0", destination)

@@ -1,0 +1,164 @@
+"""Tests for the eBGP route family, decision process and policy combinators."""
+
+import pytest
+
+from repro import smt
+from repro.errors import RoutingError
+from repro.routing import (
+    BgpPolicy,
+    bgp_better,
+    bgp_merge,
+    bgp_route_family,
+    drop_all_policy,
+    identity_policy,
+)
+from repro.symbolic import BoolShape, values_equal
+
+
+def is_valid(symbool):
+    return smt.prove(symbool.term).valid
+
+
+FAMILY = bgp_route_family(communities=("gold", "silver"))
+
+
+def route(**overrides):
+    values = FAMILY.default_announcement()
+    values.update(overrides)
+    return FAMILY.route.some(values)
+
+
+class TestRouteFamily:
+    def test_fields_match_table_3(self):
+        names = set(FAMILY.payload.fields)
+        assert {"prefix", "ad", "lp", "med", "origin", "as_path_length", "communities"} <= names
+
+    def test_ghost_fields(self):
+        family = bgp_route_family(ghost_fields={"external": BoolShape()})
+        assert "external" in family.payload.fields
+        announcement = family.default_announcement(external=True)
+        assert announcement["external"] is True
+
+    def test_ghost_field_clash_rejected(self):
+        with pytest.raises(RoutingError):
+            bgp_route_family(ghost_fields={"lp": BoolShape()})
+
+    def test_unknown_ghost_value_rejected(self):
+        with pytest.raises(RoutingError):
+            FAMILY.default_announcement(no_such_field=1)
+
+    def test_default_announcement_values(self):
+        values = FAMILY.default_announcement(prefix=7, lp=150, communities=("gold",))
+        assert values["prefix"] == 7
+        assert values["lp"] == 150
+        assert values["as_path_length"] == 0
+        assert values["communities"] == ("gold",)
+
+
+class TestDecisionProcess:
+    def test_prefers_presence(self):
+        present, absent = route(), FAMILY.route.none()
+        assert values_equal(bgp_merge(present, absent), present).concrete_value() is True
+        assert values_equal(bgp_merge(absent, present), present).concrete_value() is True
+        assert bgp_merge(absent, absent).is_none.concrete_value() is True
+
+    def test_prefers_lower_admin_distance(self):
+        better = route(ad=5, lp=50)
+        worse = route(ad=10, lp=200)
+        assert values_equal(bgp_merge(better, worse), better).concrete_value() is True
+
+    def test_prefers_higher_local_preference(self):
+        high = route(lp=200, as_path_length=9)
+        low = route(lp=100, as_path_length=1)
+        assert values_equal(bgp_merge(high, low), high).concrete_value() is True
+
+    def test_prefers_shorter_as_path(self):
+        short = route(as_path_length=1, med=9)
+        long = route(as_path_length=5, med=0)
+        assert values_equal(bgp_merge(long, short), short).concrete_value() is True
+
+    def test_prefers_better_origin_then_lower_med(self):
+        igp = route(origin="igp", med=9)
+        egp = route(origin="egp", med=0)
+        assert values_equal(bgp_merge(igp, egp), igp).concrete_value() is True
+        low_med = route(med=1)
+        high_med = route(med=9)
+        assert values_equal(bgp_merge(high_med, low_med), low_med).concrete_value() is True
+
+    def test_merge_is_idempotent_symbolically(self):
+        left = FAMILY.route.fresh("left")
+        idempotent = values_equal(bgp_merge(left, left), left)
+        assert smt.prove(idempotent.term, FAMILY.route.constraint(left).term).valid
+
+    def test_merge_is_commutative_when_the_decision_is_strict(self):
+        # When the decision process strictly prefers one side (the usual case),
+        # the merge is order-independent.  Ties between routes that differ only
+        # in uncompared fields (prefix, communities) are broken by argument
+        # order, exactly as in real BGP implementations.
+        left = FAMILY.route.fresh("left")
+        right = FAMILY.route.fresh("right")
+        strict = ~(bgp_better(left.payload, right.payload) & bgp_better(right.payload, left.payload))
+        assumptions = FAMILY.route.constraint(left) & FAMILY.route.constraint(right) & strict
+        commutative = values_equal(bgp_merge(left, right), bgp_merge(right, left))
+        assert smt.prove(commutative.term, assumptions.term).valid
+
+    def test_merge_selects_one_of_its_arguments(self):
+        left = FAMILY.route.fresh("a")
+        right = FAMILY.route.fresh("b")
+        merged = bgp_merge(left, right)
+        one_of = values_equal(merged, left) | values_equal(merged, right)
+        assert smt.prove(one_of.term).valid
+
+    def test_better_is_total_on_concrete_routes(self):
+        assert bgp_better(route(lp=200).payload, route(lp=100).payload).concrete_value() is True
+        assert bgp_better(route(lp=100).payload, route(lp=200).payload).concrete_value() is False
+
+
+class TestPolicies:
+    def test_identity_policy_increments_path(self):
+        result = identity_policy().apply(route(as_path_length=3))
+        assert result.payload.as_path_length.concrete_value() == 4
+
+    def test_drop_all_policy(self):
+        assert drop_all_policy().apply(route()).is_none.concrete_value() is True
+
+    def test_community_filtering(self):
+        tagged = route(communities=("gold",))
+        plain = route()
+        deny = BgpPolicy(deny_communities=("gold",))
+        assert deny.apply(tagged).is_none.concrete_value() is True
+        assert deny.apply(plain).is_some.concrete_value() is True
+        require = BgpPolicy(require_communities=("gold",))
+        assert require.apply(tagged).is_some.concrete_value() is True
+        assert require.apply(plain).is_none.concrete_value() is True
+
+    def test_guard(self):
+        policy = BgpPolicy(guard=lambda payload: payload.lp == 100)
+        assert policy.apply(route(lp=100)).is_some.concrete_value() is True
+        assert policy.apply(route(lp=90)).is_none.concrete_value() is True
+
+    def test_community_updates(self):
+        policy = BgpPolicy(add_communities=("gold",), remove_communities=("silver",))
+        result = policy.apply(route(communities=("silver",)))
+        communities = result.payload.communities
+        assert communities.contains("gold").concrete_value() is True
+        assert communities.contains("silver").concrete_value() is False
+
+    def test_attribute_overwrites(self):
+        policy = BgpPolicy(set_local_preference=250, set_med=7, increment_path=False)
+        result = policy.apply(route(lp=10, med=1, as_path_length=2))
+        assert result.payload.lp.concrete_value() == 250
+        assert result.payload.med.concrete_value() == 7
+        assert result.payload.as_path_length.concrete_value() == 2
+
+    def test_transform_hook(self):
+        policy = BgpPolicy(transform=lambda payload: payload.with_fields(prefix=9))
+        assert policy.apply(route(prefix=1)).payload.prefix.concrete_value() == 9
+
+    def test_policy_preserves_absence(self):
+        policy = BgpPolicy(add_communities=("gold",), set_local_preference=5)
+        assert policy.apply(FAMILY.route.none()).is_none.concrete_value() is True
+
+    def test_as_transfer(self):
+        transfer = BgpPolicy().as_transfer()
+        assert transfer(route()).payload.as_path_length.concrete_value() == 1

@@ -1,0 +1,91 @@
+"""Tests for the directed topology class and topology builders."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import Topology, path_topology, ring_topology, star_topology
+
+
+class TestTopology:
+    def test_add_nodes_and_edges(self):
+        topology = Topology(nodes=["a", "b"], edges=[("a", "b")])
+        assert topology.node_count == 2
+        assert topology.edge_count == 1
+        assert topology.has_edge("a", "b")
+        assert not topology.has_edge("b", "a")
+        assert "a" in topology and "z" not in topology
+
+    def test_add_edge_creates_nodes(self):
+        topology = Topology()
+        topology.add_edge("x", "y")
+        assert set(topology.nodes) == {"x", "y"}
+
+    def test_idempotent_additions(self):
+        topology = Topology()
+        topology.add_edge("a", "b")
+        topology.add_edge("a", "b")
+        topology.add_node("a")
+        assert topology.edge_count == 1
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(RoutingError):
+            Topology().add_edge("a", "a")
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(RoutingError):
+            Topology().add_node("")
+
+    def test_predecessors_and_successors(self):
+        topology = Topology(edges=[("a", "b"), ("c", "b"), ("b", "d")])
+        assert set(topology.predecessors("b")) == {"a", "c"}
+        assert set(topology.successors("b")) == {"d"}
+        assert topology.in_degree("b") == 2
+        assert topology.out_degree("b") == 1
+        assert set(topology.in_edges("b")) == {("a", "b"), ("c", "b")}
+
+    def test_unknown_node_rejected(self):
+        topology = Topology(nodes=["a"])
+        with pytest.raises(RoutingError):
+            topology.predecessors("zzz")
+
+    def test_undirected_edges(self):
+        topology = Topology()
+        topology.add_undirected_edge("a", "b")
+        assert topology.has_edge("a", "b") and topology.has_edge("b", "a")
+
+    def test_bfs_distances_follow_edge_direction(self):
+        topology = Topology(edges=[("a", "b"), ("b", "c")])
+        assert topology.bfs_distances("a") == {"a": 0, "b": 1, "c": 2}
+        assert topology.bfs_distances("c") == {"c": 0}
+        assert topology.bfs_distances("c", reverse=True) == {"c": 0, "b": 1, "a": 2}
+
+    def test_diameter_and_connectivity(self):
+        ring = ring_topology(5)
+        assert ring.is_strongly_connected()
+        assert ring.diameter() == 2
+        line = path_topology(4, bidirectional=False)
+        assert not line.is_strongly_connected()
+        assert line.diameter() == 3
+
+
+class TestBuilders:
+    def test_path_topology(self):
+        path = path_topology(3)
+        assert path.node_count == 3
+        assert path.edge_count == 4  # two undirected links
+        with pytest.raises(RoutingError):
+            path_topology(0)
+
+    def test_ring_topology(self):
+        ring = ring_topology(4)
+        assert ring.node_count == 4
+        assert ring.edge_count == 8
+        with pytest.raises(RoutingError):
+            ring_topology(2)
+
+    def test_star_topology(self):
+        star = star_topology(5)
+        assert star.node_count == 6
+        assert star.in_degree("hub") == 5
+        with pytest.raises(RoutingError):
+            star_topology(0)

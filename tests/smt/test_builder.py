@@ -1,0 +1,159 @@
+"""Tests for the simplifying term constructors."""
+
+import pytest
+
+from repro import smt
+from repro.errors import SortError, TermError
+
+
+class TestBooleanSimplification:
+    def test_not_folds_constants(self):
+        assert smt.not_(smt.true()) is smt.false()
+        assert smt.not_(smt.false()) is smt.true()
+
+    def test_double_negation(self):
+        a = smt.bool_var("a")
+        assert smt.not_(smt.not_(a)) is a
+
+    def test_and_neutral_and_absorbing(self):
+        a = smt.bool_var("a")
+        assert smt.and_(a, smt.true()) is a
+        assert smt.and_(a, smt.false()) is smt.false()
+        assert smt.and_() is smt.true()
+
+    def test_or_neutral_and_absorbing(self):
+        a = smt.bool_var("a")
+        assert smt.or_(a, smt.false()) is a
+        assert smt.or_(a, smt.true()) is smt.true()
+        assert smt.or_() is smt.false()
+
+    def test_and_deduplicates_and_flattens(self):
+        a, b, c = (smt.bool_var(n) for n in "abc")
+        nested = smt.and_(smt.and_(a, b), smt.and_(b, c))
+        assert set(nested.args) == {a, b, c}
+
+    def test_complementary_literals(self):
+        a = smt.bool_var("a")
+        assert smt.and_(a, smt.not_(a)) is smt.false()
+        assert smt.or_(a, smt.not_(a)) is smt.true()
+
+    def test_implication_is_disjunction(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        assert smt.implies(a, b) is smt.or_(smt.not_(a), b)
+        assert smt.implies(smt.false(), a) is smt.true()
+        assert smt.implies(smt.true(), a) is a
+
+    def test_xor_of_equal_terms(self):
+        a = smt.bool_var("a")
+        assert smt.xor(a, a) is smt.false()
+
+    def test_and_requires_bools(self):
+        with pytest.raises(SortError):
+            smt.and_(smt.bv_const(1, 4))
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(TermError):
+            smt.bool_var("")
+        with pytest.raises(TermError):
+            smt.bv_var("", 4)
+
+
+class TestIte:
+    def test_constant_condition(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        assert smt.ite(smt.true(), a, b) is a
+        assert smt.ite(smt.false(), a, b) is b
+
+    def test_identical_branches(self):
+        c, a = smt.bool_var("c"), smt.bool_var("a")
+        assert smt.ite(c, a, a) is a
+
+    def test_boolean_special_cases(self):
+        c, a = smt.bool_var("c"), smt.bool_var("a")
+        assert smt.ite(c, smt.true(), smt.false()) is c
+        assert smt.ite(c, smt.false(), smt.true()) is smt.not_(c)
+        assert smt.ite(c, smt.true(), a) is smt.or_(c, a)
+        assert smt.ite(c, smt.false(), a) is smt.and_(smt.not_(c), a)
+
+    def test_branch_sorts_must_match(self):
+        with pytest.raises(SortError):
+            smt.ite(smt.bool_var("c"), smt.true(), smt.bv_const(1, 4))
+
+
+class TestEquality:
+    def test_reflexive(self):
+        x = smt.bv_var("x", 8)
+        assert smt.eq(x, x) is smt.true()
+
+    def test_constants_folded(self):
+        assert smt.eq(smt.bv_const(3, 4), smt.bv_const(3, 4)) is smt.true()
+        assert smt.eq(smt.bv_const(3, 4), smt.bv_const(4, 4)) is smt.false()
+        assert smt.eq(smt.true(), smt.false()) is smt.false()
+
+    def test_boolean_constant_sides_fold(self):
+        a = smt.bool_var("a")
+        assert smt.eq(a, smt.true()) is a
+        assert smt.eq(smt.false(), a) is smt.not_(a)
+
+    def test_commutative_sharing(self):
+        x, y = smt.bv_var("x", 8), smt.bv_var("y", 8)
+        assert smt.eq(x, y) is smt.eq(y, x)
+
+    def test_mixed_sorts_rejected(self):
+        with pytest.raises(SortError):
+            smt.eq(smt.bool_var("a"), smt.bv_const(1, 1))
+
+    def test_distinct(self):
+        x, y = smt.bv_var("x", 8), smt.bv_var("y", 8)
+        assert smt.distinct(x, x) is smt.false()
+        assert smt.distinct(x, y) is smt.not_(smt.eq(x, y))
+
+
+class TestBitVectorBuilders:
+    def test_add_constant_folding(self):
+        assert smt.bv_add(smt.bv_const(3, 8), smt.bv_const(4, 8)).bv_value() == 7
+        assert smt.bv_add(smt.bv_const(255, 8), smt.bv_const(1, 8)).bv_value() == 0
+
+    def test_add_zero_identity(self):
+        x = smt.bv_var("x", 8)
+        assert smt.bv_add(x, smt.bv_const(0, 8)) is x
+        assert smt.bv_add(smt.bv_const(0, 8), x) is x
+
+    def test_sub_folding(self):
+        assert smt.bv_sub(smt.bv_const(4, 8), smt.bv_const(3, 8)).bv_value() == 1
+        assert smt.bv_sub(smt.bv_const(0, 8), smt.bv_const(1, 8)).bv_value() == 255
+        x = smt.bv_var("x", 8)
+        assert smt.bv_sub(x, x).bv_value() == 0
+        assert smt.bv_sub(x, smt.bv_const(0, 8)) is x
+
+    def test_comparisons_fold(self):
+        three, four = smt.bv_const(3, 8), smt.bv_const(4, 8)
+        assert smt.bv_ult(three, four) is smt.true()
+        assert smt.bv_ult(four, three) is smt.false()
+        assert smt.bv_ule(three, three) is smt.true()
+        assert smt.bv_ugt(four, three) is smt.true()
+        assert smt.bv_uge(three, four) is smt.false()
+
+    def test_comparison_bounds(self):
+        x = smt.bv_var("x", 8)
+        assert smt.bv_ult(x, smt.bv_const(0, 8)) is smt.false()
+        assert smt.bv_ule(smt.bv_const(0, 8), x) is smt.true()
+        assert smt.bv_ule(x, smt.bv_const(255, 8)) is smt.true()
+        assert smt.bv_ult(x, x) is smt.false()
+        assert smt.bv_ule(x, x) is smt.true()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SortError):
+            smt.bv_add(smt.bv_var("x", 8), smt.bv_var("y", 9))
+        with pytest.raises(SortError):
+            smt.bv_ult(smt.bool_var("a"), smt.bool_var("b"))
+
+    def test_min_max(self):
+        three, four = smt.bv_const(3, 8), smt.bv_const(4, 8)
+        assert smt.bv_min(three, four).bv_value() == 3
+        assert smt.bv_max(three, four).bv_value() == 4
+
+    def test_saturating_add(self):
+        assert smt.bv_saturating_add(smt.bv_const(3, 4), smt.bv_const(4, 4)).bv_value() == 7
+        assert smt.bv_saturating_add(smt.bv_const(10, 4), smt.bv_const(10, 4)).bv_value() == 15
+        assert smt.bv_saturating_add(smt.bv_const(15, 4), smt.bv_const(1, 4)).bv_value() == 15

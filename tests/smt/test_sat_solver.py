@@ -1,0 +1,195 @@
+"""Tests for the CDCL SAT core (unit tests plus a brute-force fuzz oracle)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.smt.sat import BruteForceSolver, CdclSolver, SatStatus
+from repro.smt.sat.heap import ActivityHeap
+from repro.smt.sat.solver import luby
+
+
+class TestLuby:
+    def test_first_elements(self):
+        assert [luby(i) for i in range(1, 16)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SolverError):
+            luby(0)
+
+    def test_values_are_powers_of_two(self):
+        for index in range(1, 200):
+            value = luby(index)
+            assert value & (value - 1) == 0
+
+
+class TestActivityHeap:
+    def test_pop_returns_highest_activity(self):
+        activity = [0.0, 1.0, 5.0, 3.0]
+        heap = ActivityHeap(activity)
+        for variable in (1, 2, 3):
+            heap.push(variable)
+        assert heap.pop() == 2
+        assert heap.pop() == 3
+        assert heap.pop() == 1
+
+    def test_push_is_idempotent(self):
+        activity = [0.0, 1.0]
+        heap = ActivityHeap(activity)
+        heap.push(1)
+        heap.push(1)
+        assert len(heap) == 1
+
+    def test_update_after_bump(self):
+        activity = [0.0, 1.0, 2.0, 3.0]
+        heap = ActivityHeap(activity)
+        for variable in (1, 2, 3):
+            heap.push(variable)
+        activity[1] = 10.0
+        heap.update(1)
+        assert heap.pop() == 1
+
+    def test_contains(self):
+        heap = ActivityHeap([0.0, 0.0])
+        assert 1 not in heap
+        heap.push(1)
+        assert 1 in heap
+
+
+class TestCdclBasics:
+    def test_empty_problem_is_sat(self):
+        assert CdclSolver().solve() == SatStatus.SAT
+
+    def test_single_unit_clause(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        assert solver.solve() == SatStatus.SAT
+        assert solver.model()[1] is True
+
+    def test_conflicting_units(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() == SatStatus.UNSAT
+
+    def test_empty_clause_is_unsat(self):
+        solver = CdclSolver()
+        solver.add_clause([1, -1])  # tautology, dropped
+        solver.add_clause([])
+        assert solver.solve() == SatStatus.UNSAT
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            CdclSolver().add_clause([0])
+
+    def test_simple_implication_chain(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() == SatStatus.SAT
+        model = solver.model()
+        assert model[1] and model[2] and model[3]
+
+    def test_model_satisfies_clauses(self):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+        solver = CdclSolver()
+        for clause in clauses:
+            solver.add_clause(list(clause))
+        assert solver.solve() == SatStatus.SAT
+        model = solver.model()
+        for clause in clauses:
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Variables p[i][j]: pigeon i sits in hole j.
+        def var(pigeon, hole):
+            return pigeon * 2 + hole + 1
+
+        solver = CdclSolver()
+        for pigeon in range(3):
+            solver.add_clause([var(pigeon, 0), var(pigeon, 1)])
+        for hole in range(2):
+            for first in range(3):
+                for second in range(first + 1, 3):
+                    solver.add_clause([-var(first, hole), -var(second, hole)])
+        assert solver.solve() == SatStatus.UNSAT
+
+    def test_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) == SatStatus.SAT
+        assert solver.model()[2] is True
+        assert solver.solve(assumptions=[-1, -2]) == SatStatus.UNSAT
+        # The problem itself is still satisfiable afterwards.
+        assert solver.solve() == SatStatus.SAT
+
+    def test_timeout_returns_unknown_or_answer(self):
+        solver = CdclSolver()
+        for clause in ([1, 2], [-1, 2], [1, -2], [-1, -2, 3]):
+            solver.add_clause(list(clause))
+        result = solver.solve(timeout=10.0)
+        assert result in (SatStatus.SAT, SatStatus.UNKNOWN)
+
+    def test_statistics_populated(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([1, -2])
+        solver.add_clause([-1, -2, 3])
+        solver.solve()
+        assert solver.statistics["decisions"] >= 1
+
+
+def _random_clauses(rng, max_vars=10, max_clauses=40):
+    num_vars = rng.randint(1, max_vars)
+    num_clauses = rng.randint(1, max_clauses)
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, 3)
+        clause = [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(size)]
+        clauses.append(clause)
+    return clauses
+
+
+class TestAgainstBruteForce:
+    def test_seeded_fuzz(self):
+        rng = random.Random(20230615)
+        for _ in range(150):
+            clauses = _random_clauses(rng)
+            cdcl = CdclSolver()
+            brute = BruteForceSolver()
+            for clause in clauses:
+                cdcl.add_clause(list(clause))
+                brute.add_clause(list(clause))
+            expected = brute.solve()
+            actual = cdcl.solve()
+            assert actual == expected, f"disagreement on {clauses}"
+            if actual == SatStatus.SAT:
+                model = cdcl.model()
+                for clause in clauses:
+                    assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=6).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_hypothesis_equivalence_with_brute_force(self, clauses):
+        cdcl = CdclSolver()
+        brute = BruteForceSolver()
+        for clause in clauses:
+            cdcl.add_clause(list(clause))
+            brute.add_clause(list(clause))
+        assert cdcl.solve() == brute.solve()

@@ -1,0 +1,152 @@
+"""Tests for the SMT solver facade (check/prove/model/push/pop) and bit-blasting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import smt
+from repro.errors import SolverError
+from repro.smt.bitblast import BitBlaster
+from repro.smt.walker import evaluate
+
+
+class TestCheckSat:
+    def test_trivially_true_and_false(self):
+        assert smt.check_sat(smt.true()).is_sat
+        assert smt.check_sat(smt.false()).is_unsat
+
+    def test_model_for_boolean_query(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        result = smt.check_sat(smt.and_(a, smt.not_(b)))
+        assert result.is_sat
+        model = result.model()
+        assert model["a"] is True and model["b"] is False
+
+    def test_model_for_bitvector_query(self):
+        x = smt.bv_var("x", 8)
+        result = smt.check_sat(smt.and_(smt.bv_ult(smt.bv_const(10, 8), x), smt.bv_ult(x, smt.bv_const(13, 8))))
+        assert result.is_sat
+        assert result.model()["x"] in (11, 12)
+
+    def test_unsat_has_no_model(self):
+        x = smt.bv_var("x", 4)
+        result = smt.check_sat(smt.and_(smt.bv_ult(x, smt.bv_const(2, 4)), smt.bv_ugt(x, smt.bv_const(10, 4))))
+        assert result.is_unsat
+        with pytest.raises(SolverError):
+            result.model()
+
+    def test_model_evaluate_satisfies_goal(self):
+        x, y = smt.bv_var("x", 6), smt.bv_var("y", 6)
+        goal = smt.and_(smt.eq(smt.bv_add(x, y), smt.bv_const(20, 6)), smt.bv_ult(x, y))
+        result = smt.check_sat(goal)
+        assert result.is_sat
+        assert result.model().evaluate(goal) is True
+
+
+class TestProve:
+    def test_valid_propositional_facts(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        assert smt.prove(smt.or_(a, smt.not_(a))).valid
+        assert smt.prove(smt.iff(smt.not_(smt.or_(a, b)), smt.and_(smt.not_(a), smt.not_(b)))).valid
+
+    def test_valid_bitvector_facts(self):
+        x = smt.bv_var("x", 8)
+        assert smt.prove(smt.bv_ule(x, smt.bv_const(255, 8))).valid
+        assert smt.prove(smt.eq(smt.bv_add(x, smt.bv_const(0, 8)), x)).valid
+        y = smt.bv_var("y", 8)
+        assert smt.prove(smt.eq(smt.bv_add(x, y), smt.bv_add(y, x))).valid
+
+    def test_invalid_gives_counterexample(self):
+        x = smt.bv_var("x", 8)
+        result = smt.prove(smt.bv_ult(x, smt.bv_const(100, 8)))
+        assert not result.valid
+        assert result.counterexample is not None
+        assert result.counterexample["x"] >= 100
+
+    def test_assumptions_are_respected(self):
+        x = smt.bv_var("x", 8)
+        assumption = smt.bv_ult(x, smt.bv_const(10, 8))
+        goal = smt.bv_ult(x, smt.bv_const(20, 8))
+        assert smt.prove(goal, assumption).valid
+        assert not smt.prove(goal).valid
+
+    def test_contradictory_assumptions_prove_anything(self):
+        x = smt.bv_var("x", 4)
+        contradiction = smt.and_(smt.bv_ult(x, smt.bv_const(1, 4)), smt.bv_ugt(x, smt.bv_const(2, 4)))
+        assert smt.prove(smt.false(), contradiction).valid
+
+
+class TestSolverObject:
+    def test_push_pop(self):
+        solver = smt.Solver()
+        a = smt.bool_var("a")
+        solver.add(a)
+        solver.push()
+        solver.add(smt.not_(a))
+        assert solver.check().is_unsat
+        solver.pop()
+        assert solver.check().is_sat
+
+    def test_pop_without_push(self):
+        with pytest.raises(SolverError):
+            smt.Solver().pop()
+
+    def test_only_bool_terms_assertable(self):
+        with pytest.raises(SolverError):
+            smt.Solver().add(smt.bv_const(1, 4))
+
+    def test_statistics_accumulate(self):
+        solver = smt.Solver()
+        x = smt.bv_var("x", 8)
+        solver.add(smt.eq(smt.bv_add(x, x), smt.bv_const(10, 8)))
+        solver.check()
+        assert solver.statistics.variables > 0
+        assert solver.statistics.clauses > 0
+
+
+class TestBitBlaster:
+    def _equisatisfiable_value(self, term, env):
+        """Blasted term evaluates identically to the original under ``env``."""
+        blaster = BitBlaster()
+        blasted = blaster.blast(term)
+        blasted_env = {}
+        for name, value in env.items():
+            if isinstance(value, bool):
+                blasted_env[name] = value
+            else:
+                for bit in range(16):
+                    blasted_env[f"{name}#{bit}"] = bool((value >> bit) & 1)
+        return evaluate(term, env), evaluate(blasted, blasted_env)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addition_matches_python(self, left, right):
+        x, y = smt.bv_var("bx", 8), smt.bv_var("by", 8)
+        term = smt.eq(smt.bv_add(x, y), smt.bv_const((left + right) % 256, 8))
+        original, blasted = self._equisatisfiable_value(term, {"bx": left, "by": right})
+        assert original is True
+        assert blasted is True
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_comparisons_match_python(self, left, right):
+        x, y = smt.bv_var("cx", 8), smt.bv_var("cy", 8)
+        env = {"cx": left, "cy": right}
+        for builder, expected in (
+            (smt.bv_ult, left < right),
+            (smt.bv_ule, left <= right),
+        ):
+            original, blasted = self._equisatisfiable_value(builder(x, y), env)
+            assert original == expected
+            assert blasted == expected
+
+    def test_subtraction_two_complement(self):
+        x, y = smt.bv_var("sx", 8), smt.bv_var("sy", 8)
+        term = smt.eq(smt.bv_sub(x, y), smt.bv_const((5 - 9) % 256, 8))
+        original, blasted = self._equisatisfiable_value(term, {"sx": 5, "sy": 9})
+        assert original is True and blasted is True

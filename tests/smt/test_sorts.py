@@ -1,0 +1,66 @@
+"""Tests for the SMT sort system."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.smt.sorts import BOOL, BitVecSort, bitvec, check_same_sort, width_for_value
+
+
+class TestBoolSort:
+    def test_bool_is_singleton_like(self):
+        assert BOOL.is_bool()
+        assert not BOOL.is_bitvec()
+
+    def test_bool_equality(self):
+        from repro.smt.sorts import BoolSort
+
+        assert BOOL == BoolSort()
+
+
+class TestBitVecSort:
+    def test_width_must_be_positive(self):
+        with pytest.raises(SortError):
+            BitVecSort(0)
+        with pytest.raises(SortError):
+            BitVecSort(-3)
+
+    def test_max_value(self):
+        assert BitVecSort(1).max_value == 1
+        assert BitVecSort(8).max_value == 255
+        assert BitVecSort(16).max_value == 65535
+
+    def test_mask_wraps_values(self):
+        sort = BitVecSort(8)
+        assert sort.mask(256) == 0
+        assert sort.mask(257) == 1
+        assert sort.mask(-1) == 255
+
+    def test_structural_equality(self):
+        assert bitvec(8) == BitVecSort(8)
+        assert bitvec(8) != bitvec(9)
+        assert bitvec(4).is_bitvec()
+
+    def test_repr_mentions_width(self):
+        assert "8" in repr(bitvec(8))
+
+
+class TestHelpers:
+    def test_check_same_sort_accepts_equal(self):
+        assert check_same_sort(bitvec(4), bitvec(4), "test") == bitvec(4)
+
+    def test_check_same_sort_rejects_different(self):
+        with pytest.raises(SortError):
+            check_same_sort(bitvec(4), bitvec(5), "test")
+        with pytest.raises(SortError):
+            check_same_sort(BOOL, bitvec(1), "test")
+
+    def test_width_for_value(self):
+        assert width_for_value(0) == 1
+        assert width_for_value(1) == 1
+        assert width_for_value(2) == 2
+        assert width_for_value(255) == 8
+        assert width_for_value(256) == 9
+
+    def test_width_for_negative_value_rejected(self):
+        with pytest.raises(SortError):
+            width_for_value(-1)

@@ -1,0 +1,97 @@
+"""Tests for hash-consed terms."""
+
+import pytest
+
+from repro import smt
+from repro.errors import TermError
+from repro.smt.terms import Term, free_variables, iter_subterms, term_size
+
+
+class TestHashConsing:
+    def test_identical_constructions_are_shared(self):
+        x1 = smt.bool_var("x")
+        x2 = smt.bool_var("x")
+        assert x1 is x2
+
+    def test_same_structure_is_shared(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        left = smt.and_(a, b)
+        right = smt.and_(a, b)
+        assert left is right
+
+    def test_different_structure_not_shared(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        assert smt.and_(a, b) is not smt.or_(a, b)
+
+    def test_bv_constants_shared_by_value_and_width(self):
+        assert smt.bv_const(5, 8) is smt.bv_const(5, 8)
+        assert smt.bv_const(5, 8) is not smt.bv_const(5, 9)
+
+    def test_equality_is_identity(self):
+        a = smt.bool_var("a")
+        assert a == a
+        assert not (a == smt.bool_var("b"))
+
+
+class TestConstants:
+    def test_bool_constants(self):
+        assert smt.true().is_true()
+        assert smt.false().is_false()
+        assert smt.true().bool_value() is True
+        assert smt.false().bool_value() is False
+        assert smt.bool_const(True) is smt.true()
+
+    def test_bv_constant_value(self):
+        term = smt.bv_const(42, 8)
+        assert term.is_bv_const()
+        assert term.bv_value() == 42
+        assert term.width() == 8
+
+    def test_bv_constant_wraps(self):
+        assert smt.bv_const(256, 8).bv_value() == 0
+
+    def test_const_value_dispatch(self):
+        assert smt.true().const_value() is True
+        assert smt.bv_const(7, 4).const_value() == 7
+
+    def test_value_accessors_reject_wrong_kind(self):
+        with pytest.raises(TermError):
+            smt.bv_const(1, 4).bool_value()
+        with pytest.raises(TermError):
+            smt.true().bv_value()
+        with pytest.raises(TermError):
+            smt.true().var_name()
+        with pytest.raises(TermError):
+            smt.bool_var("x").width()
+
+
+class TestTraversal:
+    def test_iter_subterms_visits_each_once(self):
+        a, b, c = smt.bool_var("a"), smt.bool_var("b"), smt.bool_var("c")
+        shared = smt.and_(a, b)
+        formula = smt.or_(shared, smt.and_(shared, c))
+        visited = list(iter_subterms(formula))
+        assert len(visited) == len({t.term_id for t in visited})
+        assert shared in visited
+        assert a in visited and b in visited and c in visited
+
+    def test_free_variables(self):
+        x = smt.bv_var("x", 8)
+        y = smt.bv_var("y", 8)
+        formula = smt.bv_ult(smt.bv_add(x, y), smt.bv_const(10, 8))
+        names = set(free_variables(formula))
+        assert names == {"x", "y"}
+
+    def test_term_size_counts_distinct_nodes(self):
+        a = smt.bool_var("a")
+        assert term_size(a) == 1
+        assert term_size(smt.and_(a, smt.bool_var("b"))) == 3
+
+    def test_intern_table_grows(self):
+        before = Term.intern_table_size()
+        smt.bool_var("completely-new-variable-name-for-intern-test")
+        assert Term.intern_table_size() == before + 1
+
+    def test_repr_is_sexpression_like(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        assert "and" in repr(smt.and_(a, b))

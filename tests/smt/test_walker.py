@@ -1,0 +1,75 @@
+"""Tests for term traversal: substitution and evaluation."""
+
+import pytest
+
+from repro import smt
+from repro.errors import TermError
+from repro.smt.walker import evaluate, substitute
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        x = smt.bv_var("x", 8)
+        formula = smt.bv_add(x, smt.bv_const(1, 8))
+        result = substitute(formula, {"x": smt.bv_const(41, 8)})
+        assert result.bv_value() == 42
+
+    def test_substitute_folds_through_structure(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        formula = smt.and_(a, smt.or_(b, smt.not_(a)))
+        result = substitute(formula, {"a": smt.true()})
+        assert result is b
+
+    def test_substitute_missing_variables_left_alone(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        formula = smt.and_(a, b)
+        assert substitute(formula, {"a": a}) is formula
+
+    def test_substitute_sort_mismatch_rejected(self):
+        x = smt.bv_var("x", 8)
+        with pytest.raises(TermError):
+            substitute(x, {"x": smt.true()})
+
+    def test_substitute_shared_subterms_once(self):
+        x = smt.bv_var("x", 4)
+        shared = smt.bv_add(x, smt.bv_const(1, 4))
+        formula = smt.and_(smt.bv_ult(shared, smt.bv_const(5, 4)), smt.bv_ule(shared, smt.bv_const(7, 4)))
+        result = substitute(formula, {"x": smt.bv_const(2, 4)})
+        assert result is smt.true()
+
+
+class TestEvaluate:
+    def test_evaluate_boolean_structure(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        formula = smt.or_(smt.and_(a, b), smt.not_(a))
+        assert evaluate(formula, {"a": True, "b": True}) is True
+        assert evaluate(formula, {"a": True, "b": False}) is False
+        assert evaluate(formula, {"a": False, "b": False}) is True
+
+    def test_evaluate_bitvector_arithmetic(self):
+        x, y = smt.bv_var("x", 8), smt.bv_var("y", 8)
+        total = smt.bv_add(x, y)
+        assert evaluate(total, {"x": 200, "y": 100}) == 44  # wraps at 256
+        assert evaluate(smt.bv_sub(x, y), {"x": 3, "y": 5}) == 254
+        assert evaluate(smt.bv_ult(x, y), {"x": 3, "y": 5}) is True
+        assert evaluate(smt.bv_ule(x, y), {"x": 5, "y": 5}) is True
+
+    def test_evaluate_ite_and_eq(self):
+        x = smt.bv_var("x", 4)
+        formula = smt.ite(smt.eq(x, smt.bv_const(3, 4)), smt.bv_const(1, 4), smt.bv_const(0, 4))
+        assert evaluate(formula, {"x": 3}) == 1
+        assert evaluate(formula, {"x": 4}) == 0
+
+    def test_unassigned_variables_default(self):
+        a = smt.bool_var("a")
+        x = smt.bv_var("x", 8)
+        assert evaluate(a, {}) is False
+        assert evaluate(x, {}) == 0
+
+    def test_unassigned_variables_strict_mode(self):
+        with pytest.raises(TermError):
+            evaluate(smt.bool_var("a"), {}, default=False)
+
+    def test_values_are_masked_to_width(self):
+        x = smt.bv_var("x", 4)
+        assert evaluate(x, {"x": 300}) == 300 % 16

@@ -1,0 +1,226 @@
+"""Tests for composite symbolic values: options, sets, records, and shapes."""
+
+import pytest
+
+from repro import smt
+from repro.errors import SymbolicError
+from repro.symbolic import (
+    BitVecShape,
+    BoolShape,
+    EnumType,
+    EnumShape,
+    OptionShape,
+    RecordShape,
+    SetShape,
+    SymBool,
+    SymOption,
+    SymSet,
+    enum,
+    ite_value,
+    record,
+    values_equal,
+)
+
+
+def is_valid(symbool):
+    return smt.prove(symbool.term).valid
+
+
+class TestSymSet:
+    UNIVERSE = ("a", "b", "c")
+
+    def test_construction(self):
+        empty = SymSet.empty(self.UNIVERSE)
+        assert empty.concrete_value() == frozenset()
+        two = SymSet.of(self.UNIVERSE, ["a", "c"])
+        assert two.concrete_value() == frozenset({"a", "c"})
+
+    def test_unknown_elements_rejected(self):
+        with pytest.raises(SymbolicError):
+            SymSet.of(self.UNIVERSE, ["z"])
+        with pytest.raises(SymbolicError):
+            SymSet.empty(self.UNIVERSE).contains("z")
+
+    def test_add_remove_contains(self):
+        base = SymSet.empty(self.UNIVERSE).add("b")
+        assert base.contains("b").concrete_value() is True
+        assert base.contains("a").concrete_value() is False
+        assert base.remove("b").contains("b").concrete_value() is False
+
+    def test_set_algebra(self):
+        left = SymSet.of(self.UNIVERSE, ["a", "b"])
+        right = SymSet.of(self.UNIVERSE, ["b", "c"])
+        assert left.union(right).concrete_value() == frozenset({"a", "b", "c"})
+        assert left.intersection(right).concrete_value() == frozenset({"b"})
+        assert left.difference(right).concrete_value() == frozenset({"a"})
+        assert left.is_subset_of(left.union(right)).concrete_value() is True
+        assert left.is_subset_of(right).concrete_value() is False
+        assert SymSet.empty(self.UNIVERSE).is_empty().concrete_value() is True
+
+    def test_equality_and_select(self):
+        left = SymSet.of(self.UNIVERSE, ["a"])
+        right = SymSet.of(self.UNIVERSE, ["a"])
+        other = SymSet.of(self.UNIVERSE, ["b"])
+        assert (left == right).concrete_value() is True
+        assert (left != other).concrete_value() is True
+        chosen = ite_value(SymBool.constant(False), left, other)
+        assert chosen.concrete_value() == frozenset({"b"})
+
+    def test_mismatched_universes_rejected(self):
+        with pytest.raises(SymbolicError):
+            SymSet.empty(("a",)).union(SymSet.empty(("b",)))
+
+    def test_symbolic_membership(self):
+        symbolic = SymSet.fresh(self.UNIVERSE, "tags")
+        fact = symbolic.add("a").contains("a")
+        assert is_valid(fact)
+
+
+class TestSymOption:
+    SHAPE = OptionShape(BitVecShape(8))
+
+    def test_some_and_none(self):
+        present = self.SHAPE.some(5)
+        absent = self.SHAPE.none()
+        assert present.is_some.concrete_value() is True
+        assert absent.is_none.concrete_value() is True
+        assert self.SHAPE.eval(present, smt.Model({})) == 5
+        assert self.SHAPE.eval(absent, smt.Model({})) is None
+
+    def test_constant_from_python(self):
+        assert self.SHAPE.constant(None).is_none.concrete_value() is True
+        assert self.SHAPE.constant(9).payload.concrete_value() == 9
+
+    def test_map_preserves_absence(self):
+        absent = self.SHAPE.none()
+        mapped = absent.map(lambda value: value + 1)
+        assert mapped.is_none.concrete_value() is True
+
+    def test_where_filters(self):
+        present = self.SHAPE.some(5)
+        assert present.where(lambda value: value < 10).is_some.concrete_value() is True
+        assert present.where(lambda value: value > 10).is_some.concrete_value() is False
+
+    def test_value_or_and_match(self):
+        present = self.SHAPE.some(5)
+        absent = self.SHAPE.none()
+        assert present.value_or(self.SHAPE.inner.constant(0)).concrete_value() == 5
+        assert absent.value_or(self.SHAPE.inner.constant(7)).concrete_value() == 7
+        assert present.match(SymBool.false(), lambda value: value == 5).concrete_value() is True
+        assert absent.match(SymBool.false(), lambda value: value == 5).concrete_value() is False
+
+    def test_bind(self):
+        present = self.SHAPE.some(5)
+        bound = present.bind(lambda value: SymOption(value < 3, value))
+        assert bound.is_some.concrete_value() is False
+        with pytest.raises(SymbolicError):
+            present.bind(lambda value: value)
+
+    def test_equality(self):
+        assert (self.SHAPE.some(5) == self.SHAPE.some(5)).concrete_value() is True
+        assert (self.SHAPE.some(5) == self.SHAPE.some(6)).concrete_value() is False
+        assert (self.SHAPE.none() == self.SHAPE.none()).concrete_value() is True
+        assert (self.SHAPE.none() == self.SHAPE.some(5)).concrete_value() is False
+
+    def test_none_payload_is_dont_care_for_equality(self):
+        left = SymOption(SymBool.false(), self.SHAPE.inner.constant(1))
+        right = SymOption(SymBool.false(), self.SHAPE.inner.constant(2))
+        assert (left == right).concrete_value() is True
+
+    def test_select(self):
+        chosen = ite_value(SymBool.constant(True), self.SHAPE.some(1), self.SHAPE.none())
+        assert chosen.is_some.concrete_value() is True
+
+
+class TestRecordsAndShapes:
+    ORIGIN = EnumType("Origin", ("igp", "egp"))
+    ROUTE = record(
+        "Route",
+        lp=BitVecShape(8),
+        length=BitVecShape(8),
+        tag=BoolShape(),
+        origin=EnumShape(ORIGIN),
+        communities=SetShape(("x", "y")),
+    )
+    OPT = OptionShape(ROUTE)
+
+    def _concrete(self):
+        return self.ROUTE.constant(
+            {"lp": 100, "length": 2, "tag": False, "origin": "igp", "communities": ("x",)}
+        )
+
+    def test_field_access(self):
+        route = self._concrete()
+        assert route.lp.concrete_value() == 100
+        assert route.field("length").concrete_value() == 2
+        with pytest.raises(SymbolicError):
+            route.field("missing")
+        with pytest.raises(SymbolicError):
+            _ = route.missing
+
+    def test_records_are_immutable(self):
+        route = self._concrete()
+        with pytest.raises(SymbolicError):
+            route.lp = 5  # type: ignore[misc]
+
+    def test_with_fields_lifts_python_values(self):
+        route = self._concrete().with_fields(lp=200, tag=True)
+        assert route.lp.concrete_value() == 200
+        assert route.tag.concrete_value() is True
+        with pytest.raises(SymbolicError):
+            self._concrete().with_fields(unknown=1)
+
+    def test_record_equality(self):
+        assert values_equal(self._concrete(), self._concrete()).concrete_value() is True
+        other = self._concrete().with_fields(length=3)
+        assert values_equal(self._concrete(), other).concrete_value() is False
+
+    def test_record_select(self):
+        first = self._concrete()
+        second = self._concrete().with_fields(lp=50)
+        chosen = ite_value(SymBool.constant(False), first, second)
+        assert chosen.lp.concrete_value() == 50
+
+    def test_record_eval(self):
+        value = self.ROUTE.eval(self._concrete(), smt.Model({}))
+        assert value == {
+            "lp": 100,
+            "length": 2,
+            "tag": False,
+            "origin": "igp",
+            "communities": frozenset({"x"}),
+        }
+
+    def test_record_constant_validation(self):
+        with pytest.raises(SymbolicError):
+            self.ROUTE.constant({"lp": 1})
+        with pytest.raises(SymbolicError):
+            self.ROUTE.constant(42)
+
+    def test_shape_defaults_and_constraints(self):
+        default = self.ROUTE.default()
+        assert default.lp.concrete_value() == 0
+        assert default.origin.concrete_value() == "igp"
+        fresh = self.OPT.fresh("r")
+        constraint = self.OPT.constraint(fresh)
+        assert smt.check_sat(constraint.term).is_sat
+
+    def test_fresh_records_are_symbolic(self):
+        fresh = self.ROUTE.fresh("r")
+        assert not fresh.is_concrete()
+        assert smt.check_sat((fresh.lp == 77).term).is_sat
+
+    def test_enum_shape_helpers(self):
+        shape = enum("Role", ["core", "edge"])
+        assert shape.constant("core").concrete_value() == "core"
+        assert shape.default().concrete_value() == "core"
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(SymbolicError):
+            RecordShape("Empty", {})
+
+    def test_ite_value_rejects_unknown_types(self):
+        with pytest.raises(SymbolicError):
+            ite_value(SymBool.constant(True), object(), object())
+        with pytest.raises(SymbolicError):
+            values_equal(object(), object())

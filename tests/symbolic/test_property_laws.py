@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the symbolic layer and temporal operators.
+
+These check algebraic laws that the verification engine silently relies on:
+if-then-else selection, structural equality, option/record/set laws, and the
+semantics of the temporal operators at arbitrary concrete times.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import core, smt
+from repro.symbolic import (
+    BitVecShape,
+    BoolShape,
+    OptionShape,
+    SetShape,
+    SymBV,
+    SymBool,
+    ite_value,
+    record,
+    values_equal,
+)
+
+WIDTH = 8
+ROUTE = record(
+    "PropRoute",
+    lp=BitVecShape(WIDTH),
+    length=BitVecShape(WIDTH),
+    tag=BoolShape(),
+    tags=SetShape(("red", "blue")),
+)
+OPTION = OptionShape(ROUTE)
+
+
+def route_values():
+    return st.fixed_dictionaries(
+        {
+            "lp": st.integers(min_value=0, max_value=255),
+            "length": st.integers(min_value=0, max_value=255),
+            "tag": st.booleans(),
+            "tags": st.sets(st.sampled_from(["red", "blue"])).map(tuple),
+        }
+    )
+
+
+def option_values():
+    return st.one_of(st.none(), route_values())
+
+
+def lift(value):
+    return OPTION.constant(value)
+
+
+def normalise(value):
+    if value is None:
+        return None
+    return dict(value, tags=frozenset(value["tags"]))
+
+
+class TestGenericOperations:
+    @given(st.booleans(), option_values(), option_values())
+    @settings(max_examples=60, deadline=None)
+    def test_ite_selects_the_right_branch(self, condition, then_value, else_value):
+        chosen = ite_value(SymBool.constant(condition), lift(then_value), lift(else_value))
+        expected = then_value if condition else else_value
+        assert OPTION.eval(chosen, smt.Model({})) == normalise(expected)
+
+    @given(option_values(), option_values())
+    @settings(max_examples=60, deadline=None)
+    def test_values_equal_matches_python_equality(self, left, right):
+        outcome = values_equal(lift(left), lift(right)).concrete_value()
+        assert outcome == (normalise(left) == normalise(right))
+
+    @given(option_values())
+    @settings(max_examples=30, deadline=None)
+    def test_equality_is_reflexive(self, value):
+        assert values_equal(lift(value), lift(value)).concrete_value() is True
+
+    @given(route_values(), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_with_fields_only_changes_the_named_field(self, value, new_lp):
+        original = ROUTE.constant(value)
+        updated = original.with_fields(lp=new_lp)
+        assert updated.lp.concrete_value() == new_lp
+        assert updated.length.concrete_value() == value["length"]
+        assert updated.tag.concrete_value() == value["tag"]
+
+    @given(st.sets(st.sampled_from(["red", "blue"])), st.sets(st.sampled_from(["red", "blue"])))
+    @settings(max_examples=40, deadline=None)
+    def test_set_operations_match_python_sets(self, left, right):
+        lhs = SetShape(("red", "blue")).constant(tuple(left))
+        rhs = SetShape(("red", "blue")).constant(tuple(right))
+        assert lhs.union(rhs).concrete_value() == frozenset(left | right)
+        assert lhs.intersection(rhs).concrete_value() == frozenset(left & right)
+        assert lhs.difference(rhs).concrete_value() == frozenset(left - right)
+        assert lhs.is_subset_of(rhs).concrete_value() == (left <= right)
+
+
+class TestBitvectorLaws:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_saturating_add_never_exceeds_max_and_never_wraps(self, left, right):
+        result = SymBV.constant(left, WIDTH).saturating_add(right).concrete_value()
+        assert result == min(left + right, 255)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_comparisons_match_python(self, left, right):
+        a, b = SymBV.constant(left, WIDTH), SymBV.constant(right, WIDTH)
+        assert (a < b).concrete_value() == (left < right)
+        assert (a <= b).concrete_value() == (left <= right)
+        assert (a > b).concrete_value() == (left > right)
+        assert (a >= b).concrete_value() == (left >= right)
+        assert (a == b).concrete_value() == (left == right)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_min_max_agree_with_python(self, left, right):
+        a, b = SymBV.constant(left, WIDTH), SymBV.constant(right, WIDTH)
+        assert a.min(b).concrete_value() == min(left, right)
+        assert a.max(b).concrete_value() == max(left, right)
+
+
+class TestTemporalSemantics:
+    """The paper's Figure 12 definitions, checked pointwise at concrete times."""
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=15),
+        option_values(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_until_definition(self, witness, time, value):
+        route = lift(value)
+        before = lambda r: r.is_none  # noqa: E731
+        after = core.globally(lambda r: r.is_some)
+        predicate = core.until(witness, before, after)
+        expected = (value is None) if time < witness else (value is not None)
+        observed = predicate(route, SymBV.constant(time, 5)).concrete_value()
+        assert observed == expected
+
+    @given(
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=15),
+        option_values(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_finally_definition(self, witness, time, value):
+        predicate = core.finally_(witness, core.globally(lambda r: r.is_some))
+        expected = True if time < witness else (value is not None)
+        observed = predicate(lift(value), SymBV.constant(time, 5)).concrete_value()
+        assert observed == expected
+
+    @given(st.integers(min_value=0, max_value=15), option_values())
+    @settings(max_examples=60, deadline=None)
+    def test_lifted_set_operations(self, time, value):
+        has_route = core.globally(lambda r: r.is_some)
+        tagged = core.globally(lambda r: r.is_some & r.payload.tag)
+        route = lift(value)
+        timestamp = SymBV.constant(time, 5)
+        conj = (has_route & tagged)(route, timestamp).concrete_value()
+        disj = (has_route | tagged)(route, timestamp).concrete_value()
+        neg = (~has_route)(route, timestamp).concrete_value()
+        expected_has = value is not None
+        expected_tagged = value is not None and value["tag"]
+        assert conj == (expected_has and expected_tagged)
+        assert disj == (expected_has or expected_tagged)
+        assert neg == (not expected_has)

@@ -1,0 +1,169 @@
+"""Tests for scalar symbolic values: booleans, bitvectors and enums."""
+
+import pytest
+
+from repro import smt
+from repro.errors import SymbolicError
+from repro.symbolic import EnumType, SymBV, SymBool, all_of, any_of
+
+
+def is_valid(symbool):
+    return smt.prove(symbool.term).valid
+
+
+class TestSymBool:
+    def test_constants(self):
+        assert SymBool.true().concrete_value() is True
+        assert SymBool.false().concrete_value() is False
+        assert SymBool.constant(True).is_concrete()
+
+    def test_lift(self):
+        assert SymBool.lift(True).concrete_value() is True
+        value = SymBool.fresh("flag")
+        assert SymBool.lift(value) is value
+        with pytest.raises(SymbolicError):
+            SymBool.lift(42)
+
+    def test_logical_operators_fold_constants(self):
+        t, f = SymBool.true(), SymBool.false()
+        assert (t & f).concrete_value() is False
+        assert (t | f).concrete_value() is True
+        assert (~t).concrete_value() is False
+        assert (t ^ t).concrete_value() is False
+        assert t.implies(f).concrete_value() is False
+        assert f.implies(t).concrete_value() is True
+        assert t.iff(t).concrete_value() is True
+
+    def test_operators_accept_python_bools(self):
+        a = SymBool.fresh("a")
+        assert is_valid((a & True).iff(a))
+        assert is_valid((a | False).iff(a))
+
+    def test_ite(self):
+        a = SymBool.fresh("a")
+        assert is_valid(a.ite(True, False).iff(a))
+        assert is_valid(a.ite(False, True).iff(~a))
+
+    def test_eq_and_ne(self):
+        a, b = SymBool.fresh("a"), SymBool.fresh("b")
+        assert is_valid((a == a))
+        assert is_valid(~(a != a))
+        assert not is_valid(a == b)
+
+    def test_truthiness_requires_concrete(self):
+        assert bool(SymBool.true())
+        with pytest.raises(SymbolicError):
+            bool(SymBool.fresh("a"))
+
+    def test_concrete_value_requires_concrete(self):
+        with pytest.raises(SymbolicError):
+            SymBool.fresh("a").concrete_value()
+
+    def test_eval_under_model(self):
+        a = SymBool.variable("flag")
+        assert a.eval(smt.Model({"flag": True})) is True
+        assert a.eval(smt.Model({})) is False
+
+    def test_all_of_any_of(self):
+        values = [SymBool.constant(True), SymBool.constant(True)]
+        assert all_of(values).concrete_value() is True
+        assert any_of([SymBool.constant(False), SymBool.constant(True)]).concrete_value() is True
+        assert all_of([]).concrete_value() is True
+        assert any_of([]).concrete_value() is False
+
+
+class TestSymBV:
+    def test_constants_and_width(self):
+        value = SymBV.constant(5, 8)
+        assert value.width == 8
+        assert value.concrete_value() == 5
+
+    def test_arithmetic_folds(self):
+        a, b = SymBV.constant(3, 8), SymBV.constant(4, 8)
+        assert (a + b).concrete_value() == 7
+        assert (a + 1).concrete_value() == 4
+        assert (b - a).concrete_value() == 1
+        assert (a - 4).concrete_value() == 255
+        assert a.saturating_add(250).concrete_value() == 253
+        assert SymBV.constant(250, 8).saturating_add(10).concrete_value() == 255
+
+    def test_comparisons(self):
+        a, b = SymBV.constant(3, 8), SymBV.constant(4, 8)
+        assert (a < b).concrete_value() is True
+        assert (a <= 3).concrete_value() is True
+        assert (b > 4).concrete_value() is False
+        assert (b >= 4).concrete_value() is True
+        assert (a == 3).concrete_value() is True
+        assert (a != 3).concrete_value() is False
+
+    def test_min_max(self):
+        a, b = SymBV.constant(3, 8), SymBV.constant(9, 8)
+        assert a.min(b).concrete_value() == 3
+        assert a.max(b).concrete_value() == 9
+
+    def test_symbolic_facts(self):
+        x = SymBV.fresh(8, "x")
+        assert is_valid((x + 0) == x)
+        assert is_valid(x <= 255)
+        assert is_valid((x.saturating_add(1) >= x))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SymbolicError):
+            SymBV.constant(1, 8) + SymBV.constant(1, 4)
+        with pytest.raises(SymbolicError):
+            SymBV.constant(1, 8)._coerce("nope")
+
+    def test_eq_against_non_numeric_is_false(self):
+        assert (SymBV.constant(1, 4) == "x").concrete_value() is False
+
+    def test_eval_under_model(self):
+        x = SymBV.variable("x", 8)
+        assert x.eval(smt.Model({"x": 77})) == 77
+
+
+class TestEnums:
+    def test_enum_type_validation(self):
+        with pytest.raises(SymbolicError):
+            EnumType("Empty", [])
+        with pytest.raises(SymbolicError):
+            EnumType("Dup", ["a", "a"])
+
+    def test_width(self):
+        assert EnumType("Two", ["a", "b"]).width == 1
+        assert EnumType("Three", ["a", "b", "c"]).width == 2
+        assert EnumType("Five", list("abcde")).width == 3
+
+    def test_constants_and_membership(self):
+        colors = EnumType("Color", ["red", "green", "blue"])
+        green = colors.constant("green")
+        assert green.is_concrete()
+        assert green.concrete_value() == "green"
+        assert green.is_member("green").concrete_value() is True
+        assert (green == "blue").concrete_value() is False
+        assert (green != "blue").concrete_value() is True
+
+    def test_unknown_member_rejected(self):
+        colors = EnumType("Color", ["red", "green"])
+        with pytest.raises(SymbolicError):
+            colors.constant("purple")
+        with pytest.raises(SymbolicError):
+            colors.constant("red").is_member("purple")
+
+    def test_cross_enum_comparison_rejected(self):
+        first = EnumType("A", ["x", "y"])
+        second = EnumType("B", ["x", "y"])
+        with pytest.raises(SymbolicError):
+            first.constant("x") == second.constant("x")
+
+    def test_in_range_constraint(self):
+        three = EnumType("Three", ["a", "b", "c"])
+        member = three.fresh()
+        constrained = smt.and_(three.in_range(member).term, member.is_member("c").term)
+        assert smt.check_sat(constrained).is_sat
+
+    def test_eval_under_model(self):
+        colors = EnumType("Color", ["red", "green", "blue"])
+        symbolic = colors.variable("chosen")
+        assert symbolic.eval(smt.Model({"chosen": 2})) == "blue"
+        # Out-of-range indices are clamped to the last member for reporting.
+        assert symbolic.eval(smt.Model({"chosen": 3})) == "blue"
