@@ -27,6 +27,7 @@ from repro.core.results import (
     ModularReport,
     MonolithicReport,
     NodeReport,
+    condition_verdicts,
     percentile,
 )
 from repro.core.strawperson import StrawpersonReport, check_strawperson
@@ -83,5 +84,6 @@ __all__ = [
     "MonolithicReport",
     "StrawpersonReport",
     "Counterexample",
+    "condition_verdicts",
     "percentile",
 ]

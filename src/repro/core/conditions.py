@@ -18,6 +18,17 @@ The bounded-delay extension of §4 is supported by the ``delay`` parameter of
 the inductive condition: neighbour routes may be drawn from any of the last
 ``delay + 1`` time steps and the computed route must satisfy the interface
 ``delay + 1`` steps later.
+
+**Deterministic query-scoped names.**  The symbolic time and route variables
+of a condition are named deterministically (``vc$time``, ``vc$route.<node>``
+— see :data:`VC_PREFIX`) instead of drawing globally fresh names.  Each
+condition is discharged as its own validity query, so names only need to be
+unique *within* one query — and deterministic names make the shared
+structure of different conditions (the per-sender interface blocks, the
+network's symbolic constraints, re-checks of the same node) hash-cons to
+*identical* terms.  That is what lets the incremental SMT backend
+(:mod:`repro.smt.incremental`) bit-blast and CNF-encode every distinct
+subterm once per process instead of once per query.
 """
 
 from __future__ import annotations
@@ -31,13 +42,50 @@ from repro.core.annotations import AnnotatedNetwork
 from repro.core.counterexample import Counterexample
 from repro.core.results import ConditionResult
 from repro.errors import VerificationError
-from repro.symbolic import SymBV, SymBool, any_of
+from repro.symbolic import SymBV, SymBool, any_of, exact_names
 
 INITIAL = "initial"
 INDUCTIVE = "inductive"
 SAFETY = "safety"
 
 CONDITION_KINDS = (INITIAL, INDUCTIVE, SAFETY)
+
+#: Name prefix reserved for the deterministically named per-query variables
+#: of the verification conditions.  Network models must not use it for their
+#: own symbolic variables; :func:`_network_symbolics` enforces this.
+VC_PREFIX = "vc$"
+
+
+def _escape_node_name(name: str) -> str:
+    """Injectively escape a node name for use inside a variable name.
+
+    ``%`` is the escape character (escaped first, so the mapping is
+    injective); ``#`` must not survive because the bit-blaster uses it to
+    separate a bitvector name from its bit index, and ``.`` must not survive
+    because record shapes use it to separate the route name from its field
+    path (a node literally named ``y.value`` must not alias field ``value``
+    of a node named ``y``).
+    """
+    return name.replace("%", "%25").replace("#", "%23").replace(".", "%2e")
+
+
+def _query_time(node: str, width: int) -> SymBV:
+    """The symbolic time variable of a condition (same name in every query)."""
+    del node  # the name is deliberately node-independent, see module docstring
+    with exact_names():
+        return SymBV.fresh(width, f"{VC_PREFIX}time")
+
+
+def _query_route(network: Any, owner: str) -> Any:
+    """A symbolic route named after the node that (conceptually) sends it.
+
+    Naming routes by sender — not by the (sender, receiver) edge — makes the
+    assumption block ``wf(route) ∧ interface(sender)(route, t)`` an identical
+    term in the inductive condition of *every* receiver of that sender, and
+    in the sender's own safety condition.
+    """
+    with exact_names():
+        return network.route_shape.fresh(f"{VC_PREFIX}route.{_escape_node_name(owner)}")
 
 
 @dataclass
@@ -60,10 +108,16 @@ class VerificationCondition:
     #: The network's symbolic variables (name -> symbolic value).
     symbolics: dict[str, Any] = field(default_factory=dict)
 
-    def check(self) -> ConditionResult:
-        """Decide this condition and package the outcome."""
+    def check(self, solver: Any | None = None) -> ConditionResult:
+        """Decide this condition and package the outcome.
+
+        ``solver`` optionally names a reusable SMT backend (typically the
+        per-process :func:`repro.smt.process_solver`); the query then runs in
+        a push/pop frame on it, reusing encoded structure and learned clauses
+        from earlier conditions.
+        """
         started = _time.perf_counter()
-        proof = smt.prove(self.goal.term, self.assumptions.term)
+        proof = smt.prove(self.goal.term, self.assumptions.term, solver=solver)
         elapsed = _time.perf_counter() - started
         if proof.valid:
             return ConditionResult(self.node, self.kind, True, elapsed)
@@ -88,6 +142,17 @@ class VerificationCondition:
 
 def _network_symbolics(annotated: AnnotatedNetwork) -> tuple[SymBool, dict[str, Any]]:
     """The conjunction of symbolic-variable preconditions and the value map."""
+    reserved = [
+        symbolic.name
+        for symbolic in annotated.network.symbolics
+        if symbolic.name.startswith(VC_PREFIX)
+    ]
+    if reserved:
+        raise VerificationError(
+            f"symbolic variable names {reserved} use the reserved prefix "
+            f"{VC_PREFIX!r}; it would alias the verification conditions' "
+            "query variables and corrupt verdicts"
+        )
     assumptions = annotated.network.symbolic_constraints()
     values = {symbolic.name: symbolic.value for symbolic in annotated.network.symbolics}
     return assumptions, values
@@ -121,7 +186,7 @@ def inductive_condition(
     width = annotated.time_width(delay)
     assumptions, symbolics = _network_symbolics(annotated)
 
-    time_variable = SymBV.fresh(width, f"time.{node}")
+    time_variable = _query_time(node, width)
     # Keep t small enough that t + delay + 1 cannot wrap around.  Because every
     # annotation is constant beyond its largest witness time, this bound loses
     # no generality (see DESIGN.md §5).
@@ -130,7 +195,7 @@ def inductive_condition(
 
     neighbor_routes: dict[str, Any] = {}
     for neighbor in network.topology.predecessors(node):
-        route = network.route_shape.fresh(f"route.{neighbor}.to.{node}")
+        route = _query_route(network, neighbor)
         neighbor_routes[neighbor] = route
         assumptions = assumptions & network.route_shape.constraint(route)
         interface = annotated.interface(neighbor)
@@ -162,8 +227,8 @@ def safety_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCond
     width = annotated.time_width()
     assumptions, symbolics = _network_symbolics(annotated)
 
-    time_variable = SymBV.fresh(width, f"time.{node}")
-    route = network.route_shape.fresh(f"route.{node}")
+    time_variable = _query_time(node, width)
+    route = _query_route(network, node)
     assumptions = assumptions & network.route_shape.constraint(route)
     assumptions = assumptions & annotated.interface(node)(route, time_variable)
     goal = annotated.node_property(node)(route, time_variable)

@@ -8,14 +8,21 @@ before the pool is created, every forked worker inherits it, and only the
 node name travels over the queue.  The returned :class:`NodeReport` objects
 contain plain data and pickle fine.
 
-On platforms without ``fork`` (or when anything goes wrong while setting up
-the pool) the checker silently degrades to sequential execution — the results
-are identical, only the wall-clock time differs.
+Each forked worker keeps its own per-process incremental SMT solver
+(:func:`repro.smt.process_solver`), so the nodes a worker checks share
+encoded structure and learned clauses exactly as in sequential mode.
+
+On platforms without ``fork``, or when the pool itself cannot be set up, the
+checker degrades to sequential execution with a :class:`RuntimeWarning` —
+the results are identical, only the wall-clock time differs.  Failures
+*inside* a worker (a crashing check, a keyboard interrupt) propagate to the
+caller; masking them behind a silent sequential rerun would hide real bugs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from typing import Sequence
 
 from repro.core.annotations import AnnotatedNetwork
@@ -37,6 +44,7 @@ def _check_one(node: str) -> NodeReport:
         delay=_ACTIVE_OPTIONS["delay"],
         conditions=_ACTIVE_OPTIONS["conditions"],
         fail_fast=_ACTIVE_OPTIONS["fail_fast"],
+        incremental=_ACTIVE_OPTIONS["incremental"],
     )
 
 
@@ -47,10 +55,24 @@ def check_nodes_in_parallel(
     jobs: int,
     conditions: Sequence[str],
     fail_fast: bool,
+    incremental: bool = True,
 ) -> list[NodeReport]:
     """Check ``nodes`` using up to ``jobs`` forked worker processes."""
     global _ACTIVE_NETWORK, _ACTIVE_OPTIONS
     from repro.core.checker import check_node
+
+    def sequential() -> list[NodeReport]:
+        return [
+            check_node(
+                annotated,
+                node,
+                delay=delay,
+                conditions=conditions,
+                fail_fast=fail_fast,
+                incremental=incremental,
+            )
+            for node in nodes
+        ]
 
     try:
         context = multiprocessing.get_context("fork")
@@ -58,22 +80,31 @@ def check_nodes_in_parallel(
         context = None
 
     if context is None or jobs <= 1 or len(nodes) <= 1:
-        return [
-            check_node(annotated, node, delay=delay, conditions=conditions, fail_fast=fail_fast)
-            for node in nodes
-        ]
+        return sequential()
 
     _ACTIVE_NETWORK = annotated
-    _ACTIVE_OPTIONS = {"delay": delay, "conditions": tuple(conditions), "fail_fast": fail_fast}
+    _ACTIVE_OPTIONS = {
+        "delay": delay,
+        "conditions": tuple(conditions),
+        "fail_fast": fail_fast,
+        "incremental": incremental,
+    }
     try:
-        with context.Pool(processes=min(jobs, len(nodes))) as pool:
+        try:
+            pool = context.Pool(processes=min(jobs, len(nodes)))
+        except OSError as error:
+            # Pool *setup* can fail on exotic platforms (no fork, no
+            # semaphores); degrading to sequential checking is safe there.
+            # Anything raised by the checks themselves propagates — a silent
+            # rerun would mask real worker crashes.
+            warnings.warn(
+                f"process pool unavailable ({error}); checking sequentially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return sequential()
+        with pool:
             return pool.map(_check_one, nodes)
-    except Exception:
-        # Fall back to sequential checking rather than failing the run.
-        return [
-            check_node(annotated, node, delay=delay, conditions=conditions, fail_fast=fail_fast)
-            for node in nodes
-        ]
     finally:
         _ACTIVE_NETWORK = None
         _ACTIVE_OPTIONS = None

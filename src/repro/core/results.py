@@ -143,3 +143,15 @@ def merge_reports(reports: Iterable[NodeReport], wall_time: float, parallelism: 
         wall_time=wall_time,
         parallelism=parallelism,
     )
+
+
+def condition_verdicts(report: ModularReport) -> dict[str, list[tuple[str, bool]]]:
+    """The per-node ``(condition, holds)`` pairs of a report.
+
+    A timing-free projection of the report, used to compare runs that must
+    agree on every verdict (e.g. the incremental vs fresh backend ablation).
+    """
+    return {
+        node: [(result.condition, result.holds) for result in node_report.results]
+        for node, node_report in report.node_reports.items()
+    }

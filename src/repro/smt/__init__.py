@@ -4,7 +4,11 @@ This package stands in for Z3 (unavailable in this offline environment).  It
 provides a typed term language over booleans and fixed-width bitvectors,
 simplifying term constructors, an eager bit-blaster, a Tseitin CNF encoder
 and a CDCL SAT core, wrapped in a small solver facade
-(:class:`~repro.smt.solver.Solver`, :func:`~repro.smt.solver.prove`).
+(:class:`~repro.smt.solver.Solver`, :func:`~repro.smt.solver.prove`) and a
+persistent incremental backend
+(:class:`~repro.smt.incremental.IncrementalSolver`,
+:func:`~repro.smt.incremental.process_solver`) that amortises encoding and
+learned clauses across queries.
 
 Typical usage::
 
@@ -44,8 +48,17 @@ from repro.smt.builder import (
     true,
     xor,
 )
+from repro.smt.incremental import IncrementalSolver, process_solver, reset_process_solver
 from repro.smt.model import Model
-from repro.smt.solver import CheckResult, ProofResult, Solver, check_sat, prove
+from repro.smt.solver import (
+    GLOBAL_STATISTICS,
+    CheckResult,
+    ProofResult,
+    Solver,
+    SolverStatistics,
+    check_sat,
+    prove,
+)
 from repro.smt.sorts import BOOL, BitVecSort, BoolSort, Sort, bitvec
 from repro.smt.terms import Term, free_variables, iter_subterms, term_size
 from repro.smt.walker import evaluate, substitute
@@ -93,9 +106,14 @@ __all__ = [
     "bv_saturating_add",
     # solving
     "Solver",
+    "IncrementalSolver",
+    "process_solver",
+    "reset_process_solver",
     "CheckResult",
     "ProofResult",
     "Model",
+    "SolverStatistics",
+    "GLOBAL_STATISTICS",
     "check_sat",
     "prove",
 ]

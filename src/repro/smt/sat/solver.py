@@ -7,12 +7,21 @@ The implementation follows the classic MiniSat architecture:
   the bump amount) and an indexed max-heap for branching;
 * first-UIP conflict analysis with clause learning;
 * non-chronological backjumping;
-* phase saving; and
-* Luby-sequence restarts.
+* phase saving;
+* Luby-sequence restarts; and
+* activity/LBD-based learned-clause deletion (``_reduce_learned``) plus
+  top-level removal of satisfied clauses (``_simplify_database``), which keep
+  a long-lived clause database healthy.
 
-It is intentionally free of clause deletion and preprocessing — the formulas
-produced by the per-node verification conditions are small (thousands of
-variables), so robustness and clarity win over raw throughput here.
+The solver is *incremental*: :meth:`CdclSolver.add_clause` may be called
+between :meth:`CdclSolver.solve` calls, and :meth:`solve` accepts assumption
+literals that hold only for that one call.  Every ``solve`` exit path —
+satisfiable, unsatisfiable, assumption failure or timeout — leaves the solver
+back at decision level 0 so the next ``add_clause``/``solve`` starts from a
+clean trail.  Clauses added between calls are simplified against the
+top-level assignment (literals false at level 0 are dropped, clauses
+satisfied at level 0 are discarded), which keeps the two-watched-literal
+invariant sound for late-arriving clauses.
 """
 
 from __future__ import annotations
@@ -47,12 +56,37 @@ def luby(index: int) -> int:
         index -= (1 << (size - 1)) - 1
 
 
+class LearnedClause(list):
+    """A learned clause plus the bookkeeping used to decide deletion.
+
+    ``activity`` is bumped whenever the clause participates in conflict
+    analysis (and decays like variable activities); ``lbd`` is the literal
+    block distance — the number of distinct decision levels among the
+    clause's literals when it was learned.  Low-LBD ("glue") clauses are
+    never deleted.
+    """
+
+    __slots__ = ("activity", "lbd")
+
+    def __init__(self, literals: list[int]) -> None:
+        super().__init__(literals)
+        self.activity = 0.0
+        self.lbd = len(literals)
+
+
 class CdclSolver:
     """CDCL SAT solver over clauses of integer literals (DIMACS convention)."""
 
-    def __init__(self, restart_base: int = 100, activity_decay: float = 0.95) -> None:
+    def __init__(
+        self,
+        restart_base: int = 100,
+        activity_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        max_learned: int = 2000,
+    ) -> None:
         self.num_vars = 0
         self._clauses: list[list[int]] = []
+        self._learned: list[LearnedClause] = []
         self._watches: dict[int, list[list[int]]] = {}
         self._assignment: list[int] = [0]  # 1-indexed; 0 = unassigned, 1 = true, -1 = false
         self._level: list[int] = [0]
@@ -65,11 +99,23 @@ class CdclSolver:
         self._heap = ActivityHeap(self._activity)
         self._activity_increment = 1.0
         self._activity_decay = activity_decay
+        self._clause_activity_increment = 1.0
+        self._clause_activity_decay = clause_decay
+        self._max_learned = float(max_learned)
         self._restart_base = restart_base
         self._unsatisfiable = False
         self._pending_units: list[int] = []
+        self._model: dict[int, bool] = {}
+        self._simplified_trail_size = 0
         # Statistics, reported by the benchmarks.
-        self.statistics = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0, "learned": 0}
+        self.statistics = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+        }
 
     # -- problem construction ---------------------------------------------------
 
@@ -85,7 +131,15 @@ class CdclSolver:
             self._heap.push(self.num_vars)
 
     def add_clause(self, literals: list[int]) -> None:
-        """Add a clause to the database (before or between solve calls)."""
+        """Add a clause to the database (before or between solve calls).
+
+        The clause is simplified against the top-level assignment: clauses
+        satisfied at decision level 0 are dropped and literals false at level
+        0 are removed.  Level-0 assignments are consequences of the existing
+        database, so this preserves equivalence — and it is required for
+        soundness, because unit propagation never revisits literals that were
+        falsified before the clause arrived.
+        """
         if self._trail_limits:
             raise SolverError("clauses may only be added at decision level 0")
         unique: list[int] = []
@@ -99,18 +153,58 @@ class CdclSolver:
             if literal not in seen:
                 seen.add(literal)
                 unique.append(literal)
-        if not unique:
+        simplified: list[int] = []
+        for literal in unique:
+            value = self._value(literal)
+            if value == 1:
+                return  # already satisfied at level 0
+            if value == 0:
+                simplified.append(literal)
+            # value == -1: falsified at level 0, drop the literal
+        if not simplified:
             self._unsatisfiable = True
             return
-        if len(unique) == 1:
-            self._pending_units.append(unique[0])
+        if len(simplified) == 1:
+            self._pending_units.append(simplified[0])
             return
-        self._attach_clause(unique)
+        self._attach_clause(simplified)
+
+    def add_clause_unchecked(self, literals: list[int]) -> None:
+        """Bulk-load fast path for clauses straight out of a CNF database.
+
+        The caller guarantees the literals are nonzero, duplicate-free and
+        tautology-free (:class:`repro.smt.cnf.Cnf` enforces exactly this), so
+        the per-literal vetting of :meth:`add_clause` is skipped.  The clause
+        list is owned by the solver afterwards.  When top-level assignments
+        exist the checked path is taken anyway — those require
+        simplification against the root trail.
+        """
+        if self._trail or len(literals) < 2:
+            self.add_clause(literals)
+            return
+        if self._trail_limits:
+            raise SolverError("clauses may only be added at decision level 0")
+        self.ensure_vars(max(abs(literal) for literal in literals))
+        self._attach_clause(literals)
 
     def _attach_clause(self, clause: list[int]) -> None:
-        self._clauses.append(clause)
+        if isinstance(clause, LearnedClause):
+            self._learned.append(clause)
+        else:
+            self._clauses.append(clause)
         self._watches.setdefault(clause[0], []).append(clause)
         self._watches.setdefault(clause[1], []).append(clause)
+
+    def _detach_clause(self, clause: list[int]) -> None:
+        """Remove ``clause`` from the two watch lists it occupies."""
+        for literal in (clause[0], clause[1]):
+            watchers = self._watches.get(literal)
+            if not watchers:
+                continue
+            for index, watched in enumerate(watchers):
+                if watched is clause:
+                    del watchers[index]
+                    break
 
     # -- assignment helpers -----------------------------------------------------
 
@@ -194,6 +288,13 @@ class CdclSolver:
             self._activity_increment *= 1e-100
         self._heap.update(variable)
 
+    def _bump_clause(self, clause: LearnedClause) -> None:
+        clause.activity += self._clause_activity_increment
+        if clause.activity > 1e100:
+            for learned in self._learned:
+                learned.activity *= 1e-100
+            self._clause_activity_increment *= 1e-100
+
     def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
         """First-UIP analysis.  Returns (learned clause, backjump level)."""
         learned: list[int] = [0]  # placeholder for the asserting literal
@@ -204,6 +305,8 @@ class CdclSolver:
         trail_index = len(self._trail) - 1
         while True:
             assert clause is not None, "reached a decision without finding the UIP"
+            if isinstance(clause, LearnedClause):
+                self._bump_clause(clause)
             for clause_literal in clause:
                 # Skip the literal implied by this reason clause (the one whose
                 # antecedents we are currently expanding).
@@ -253,6 +356,64 @@ class CdclSolver:
         del self._trail_limits[target_level:]
         self._propagation_head = len(self._trail)
 
+    # -- clause-database maintenance --------------------------------------------
+
+    def _is_locked(self, clause: LearnedClause) -> bool:
+        """True while ``clause`` is the reason for its asserting literal.
+
+        Propagation keeps a reason clause's implied literal at position 0, so
+        checking the reason slot of ``clause[0]``'s variable suffices.
+        """
+        variable = abs(clause[0])
+        return self._assignment[variable] != 0 and self._reason[variable] is clause
+
+    def _reduce_learned(self) -> None:
+        """Delete roughly half of the learned clauses (MiniSat's ``reduceDB``).
+
+        Clauses are ranked by activity; the least active half is removed,
+        except binary clauses, low-LBD "glue" clauses and clauses currently
+        locked as reasons.  Deletion only discards redundant (entailed)
+        clauses, so it never changes satisfiability — it just bounds the
+        propagation cost of a long-lived incremental solver.
+        """
+        limit = len(self._learned) // 2
+        removed: set[int] = set()
+        for clause in sorted(self._learned, key=lambda c: c.activity):
+            if len(removed) >= limit:
+                break
+            if len(clause) <= 2 or clause.lbd <= 2 or self._is_locked(clause):
+                continue
+            self._detach_clause(clause)
+            removed.add(id(clause))
+        if removed:
+            self._learned = [c for c in self._learned if id(c) not in removed]
+            self.statistics["deleted"] += len(removed)
+        self._max_learned *= 1.1
+
+    def _simplify_database(self) -> None:
+        """Drop clauses satisfied by the top-level assignment.
+
+        Called at decision level 0 with propagation complete, whenever the
+        root trail has grown since the last call.  In incremental use this
+        garbage-collects the clauses of retired assertion frames (their
+        activation literal is forced false at the root, satisfying every
+        guarded clause).
+        """
+        for store in (self._clauses, self._learned):
+            kept = []
+            for clause in store:
+                satisfied = False
+                for literal in clause:
+                    if self._value(literal) == 1:
+                        satisfied = True
+                        break
+                if satisfied:
+                    self._detach_clause(clause)
+                else:
+                    kept.append(clause)
+            store[:] = kept
+        self._simplified_trail_size = len(self._trail)
+
     # -- branching ---------------------------------------------------------------
 
     def _pick_branch_variable(self) -> int | None:
@@ -270,7 +431,9 @@ class CdclSolver:
         """Decide satisfiability of the clause database under ``assumptions``.
 
         ``timeout`` is a soft wall-clock limit in seconds; when exceeded the
-        solver gives up and returns :data:`SatStatus.UNKNOWN`.
+        solver gives up and returns :data:`SatStatus.UNKNOWN`.  Whatever the
+        outcome, the solver is left at decision level 0, so clauses may be
+        added and ``solve`` called again.
         """
         import time as _time
 
@@ -286,9 +449,16 @@ class CdclSolver:
         if self._propagate() is not None:
             self._unsatisfiable = True
             return SatStatus.UNSAT
+        if len(self._trail) > self._simplified_trail_size:
+            self._simplify_database()
         for literal in assumptions or []:
             self.ensure_vars(abs(literal))
             if self._value(literal) == -1:
+                # An earlier assumption's propagation falsified this one.  The
+                # earlier assumptions already pushed decision levels, so the
+                # trail must be unwound before reporting failure — otherwise a
+                # subsequent add_clause() would see a nonzero decision level.
+                self._backtrack(0)
                 return SatStatus.UNSAT
             if self._value(literal) == 0:
                 self._trail_limits.append(len(self._trail))
@@ -319,14 +489,29 @@ class CdclSolver:
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(max(backjump_level, assumption_level))
                 if len(learned) == 1:
+                    # A learned unit is entailed by the clause database alone
+                    # (conflict analysis only resolves on reason clauses), so
+                    # record it for future solve calls as well.
+                    self._pending_units.append(learned[0])
                     if not self._enqueue(learned[0], None):
-                        self._unsatisfiable = True
+                        # The unit contradicts the current assumptions.  Only
+                        # when there are none is the database itself unsat.
+                        self._backtrack(0)
+                        if assumption_level == 0:
+                            self._unsatisfiable = True
                         return SatStatus.UNSAT
                 else:
-                    self._attach_clause(learned)
+                    learned_clause = LearnedClause(learned)
+                    levels = {self._level[abs(lit)] for lit in learned}
+                    learned_clause.lbd = len(levels)
+                    self._bump_clause(learned_clause)
+                    self._attach_clause(learned_clause)
                     self.statistics["learned"] += 1
-                    self._enqueue(learned[0], learned)
+                    self._enqueue(learned[0], learned_clause)
+                    if len(self._learned) >= self._max_learned:
+                        self._reduce_learned()
                 self._activity_increment /= self._activity_decay
+                self._clause_activity_increment /= self._clause_activity_decay
             else:
                 if conflicts_since_restart >= conflicts_until_restart:
                     self.statistics["restarts"] += 1
@@ -337,6 +522,11 @@ class CdclSolver:
                     continue
                 variable = self._pick_branch_variable()
                 if variable is None:
+                    self._model = {
+                        index: self._assignment[index] == 1
+                        for index in range(1, self.num_vars + 1)
+                    }
+                    self._backtrack(0)
                     return SatStatus.SAT
                 self.statistics["decisions"] += 1
                 self._trail_limits.append(len(self._trail))
@@ -344,8 +534,5 @@ class CdclSolver:
                 self._enqueue(phase_literal, None)
 
     def model(self) -> dict[int, bool]:
-        """The satisfying assignment found by the last :meth:`solve` call."""
-        assignment: dict[int, bool] = {}
-        for variable in range(1, self.num_vars + 1):
-            assignment[variable] = self._assignment[variable] == 1
-        return assignment
+        """The satisfying assignment found by the last successful solve call."""
+        return dict(self._model)

@@ -7,16 +7,33 @@ Tseitin transform and hands the clauses to the CDCL solver.  When the result
 is satisfiable, the solver reassembles a :class:`~repro.smt.model.Model` over
 the original (pre-blasting) variable names.
 
+Two backends discharge queries:
+
+* :class:`Solver` — the stateless facade.  Each ``check`` builds a fresh SAT
+  instance; simple, allocation-heavy, and the natural baseline.
+* :class:`~repro.smt.incremental.IncrementalSolver` — a persistent backend
+  that keeps one CDCL solver alive across checks, caches bit-blasting and
+  Tseitin output per term, and implements ``push``/``pop`` with activation
+  literals.  Pass one to :func:`prove`/:func:`check_sat` via their ``solver``
+  argument (or use :func:`repro.smt.incremental.process_solver` for the
+  shared per-process instance) to amortise encoding and learned clauses
+  across queries.
+
 Two convenience entry points cover the two query shapes Timepiece needs:
 
 * :meth:`Solver.check` — is the conjunction of assertions satisfiable?
 * :func:`prove` — is a formula valid?  (Checks the negation for
   unsatisfiability and returns a counterexample model otherwise.)
+
+Module-level :data:`GLOBAL_STATISTICS` aggregates encoding and solving work
+across *all* backends in the process; the ablation benchmarks snapshot it to
+compare the fresh and incremental pipelines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time as _time
+from dataclasses import dataclass, replace
 
 from repro.errors import SolverError
 from repro.smt import builder
@@ -45,7 +62,9 @@ class CheckResult:
 
     def model(self) -> Model:
         if self._model is None:
-            raise SolverError("no model available (the query was unsatisfiable)")
+            raise SolverError(
+                f"no model available (the solver reported {self.status.value!r})"
+            )
         return self._model
 
     def __repr__(self) -> str:
@@ -61,15 +80,38 @@ class SolverStatistics:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    checks: int = 0
+    solve_seconds: float = 0.0
+
+    def snapshot(self) -> "SolverStatistics":
+        """An independent copy (for before/after deltas)."""
+        return replace(self)
+
+    def since(self, earlier: "SolverStatistics") -> "SolverStatistics":
+        """The component-wise difference ``self - earlier``."""
+        return SolverStatistics(
+            variables=self.variables - earlier.variables,
+            clauses=self.clauses - earlier.clauses,
+            conflicts=self.conflicts - earlier.conflicts,
+            decisions=self.decisions - earlier.decisions,
+            propagations=self.propagations - earlier.propagations,
+            checks=self.checks - earlier.checks,
+            solve_seconds=self.solve_seconds - earlier.solve_seconds,
+        )
+
+
+#: Process-wide totals across every backend (fresh facades and incremental
+#: solvers alike).  The ablation benchmarks snapshot this to compare modes.
+GLOBAL_STATISTICS = SolverStatistics()
 
 
 class Solver:
-    """Incremental-looking facade over the eager bit-blasting pipeline.
+    """Stateless facade over the eager bit-blasting pipeline.
 
     The facade supports ``push``/``pop`` of assertion frames.  Each ``check``
-    builds a fresh SAT instance — re-encoding is cheap at the formula sizes
-    produced by per-node verification conditions, and it keeps the SAT core
-    simple and stateless between queries.
+    builds a fresh SAT instance — nothing is reused between queries, which
+    keeps this path simple and makes it the baseline the incremental backend
+    (:class:`repro.smt.incremental.IncrementalSolver`) is measured against.
     """
 
     def __init__(self) -> None:
@@ -109,6 +151,7 @@ class Solver:
         ``timeout`` is a soft wall-clock limit in seconds; a timed-out query
         reports :data:`SatStatus.UNKNOWN`.
         """
+        started = _time.perf_counter()
         goal = builder.and_(*self._assertions, *extra)
         if goal.is_true():
             return CheckResult(SatStatus.SAT, Model({}))
@@ -129,14 +172,18 @@ class Solver:
         sat_solver = CdclSolver()
         sat_solver.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses:
-            sat_solver.add_clause(clause)
+            sat_solver.add_clause_unchecked(list(clause))
         status = sat_solver.solve(timeout=timeout)
 
-        self.statistics.variables += cnf.num_vars
-        self.statistics.clauses += cnf.num_clauses
-        self.statistics.conflicts += sat_solver.statistics["conflicts"]
-        self.statistics.decisions += sat_solver.statistics["decisions"]
-        self.statistics.propagations += sat_solver.statistics["propagations"]
+        elapsed = _time.perf_counter() - started
+        for statistics in (self.statistics, GLOBAL_STATISTICS):
+            statistics.variables += cnf.num_vars
+            statistics.clauses += cnf.num_clauses
+            statistics.conflicts += sat_solver.statistics["conflicts"]
+            statistics.decisions += sat_solver.statistics["decisions"]
+            statistics.propagations += sat_solver.statistics["propagations"]
+            statistics.checks += 1
+            statistics.solve_seconds += elapsed
 
         if status != SatStatus.SAT:
             return CheckResult(status, None)
@@ -179,11 +226,24 @@ def bit_is_exploded(name: str) -> bool:
     return BIT_SEPARATOR in name
 
 
-def check_sat(term: Term) -> CheckResult:
-    """Check satisfiability of a single term."""
-    solver = Solver()
-    solver.add(term)
-    return solver.check()
+def check_sat(term: Term, solver: "Solver | None" = None) -> CheckResult:
+    """Check satisfiability of a single term.
+
+    ``solver`` may be a reusable backend (a facade :class:`Solver` or an
+    :class:`~repro.smt.incremental.IncrementalSolver`); the term is checked
+    in a fresh ``push``/``pop`` frame so the backend's own assertions are
+    untouched.  Without one, a throwaway facade is used.
+    """
+    if solver is None:
+        solver = Solver()
+        solver.add(term)
+        return solver.check()
+    solver.push()
+    try:
+        solver.add(term)
+        return solver.check()
+    finally:
+        solver.pop()
 
 
 @dataclass
@@ -199,19 +259,41 @@ class ProofResult:
         return self.valid
 
 
-def prove(term: Term, *assumptions: Term, timeout: float | None = None) -> ProofResult:
+def prove(
+    term: Term,
+    *assumptions: Term,
+    timeout: float | None = None,
+    solver: "Solver | None" = None,
+) -> ProofResult:
     """Decide validity of ``assumptions ⟹ term``.
 
     Returns a :class:`ProofResult`; when the implication is not valid, the
     result carries a counterexample model of the assumptions plus the negated
     goal.  With ``timeout`` set, an undecided query is reported with
     ``unknown=True``.
+
+    ``solver`` selects the backend: pass a long-lived
+    :class:`~repro.smt.incremental.IncrementalSolver` (or facade
+    :class:`Solver`) to reuse its encoded structure and learned clauses —
+    the query runs inside a ``push``/``pop`` frame so the backend is left as
+    it was found.  Without one, a throwaway facade is built (the historical
+    behaviour).
     """
-    solver = Solver()
-    for assumption in assumptions:
-        solver.add(assumption)
-    solver.add(builder.not_(term))
-    outcome = solver.check(timeout=timeout)
+    if solver is None:
+        solver = Solver()
+        for assumption in assumptions:
+            solver.add(assumption)
+        solver.add(builder.not_(term))
+        outcome = solver.check(timeout=timeout)
+    else:
+        solver.push()
+        try:
+            for assumption in assumptions:
+                solver.add(assumption)
+            solver.add(builder.not_(term))
+            outcome = solver.check(timeout=timeout)
+        finally:
+            solver.pop()
     if outcome.is_unsat:
         return ProofResult(True, None)
     if outcome.status == SatStatus.UNKNOWN:

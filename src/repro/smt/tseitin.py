@@ -25,11 +25,20 @@ from repro.smt.terms import (
 
 
 class TseitinEncoder:
-    """Encodes boolean terms into a shared :class:`Cnf` instance."""
+    """Encodes boolean terms into a shared :class:`Cnf` instance.
+
+    The encoder memoises the CNF literal of every subterm by its (stable,
+    process-wide) ``term_id`` and records which clause indices each subterm's
+    encoding emitted (:meth:`clause_span`).  Long-lived encoders therefore
+    encode shared structure exactly once, and incremental backends can
+    extract the cone of clauses relevant to one query without rescanning the
+    whole database.
+    """
 
     def __init__(self, cnf: Cnf | None = None) -> None:
         self.cnf = cnf if cnf is not None else Cnf()
         self._literal_cache: dict[int, int] = {}
+        self._clause_spans: dict[int, tuple[int, int]] = {}
         self._true_literal: int | None = None
 
     # -- public API -------------------------------------------------------------
@@ -46,9 +55,21 @@ class TseitinEncoder:
         cached = self._literal_cache.get(term.term_id)
         if cached is not None:
             return cached
+        start = self.cnf.num_clauses
         literal = self._encode(term)
         self._literal_cache[term.term_id] = literal
+        self._clause_spans[term.term_id] = (start, self.cnf.num_clauses)
         return literal
+
+    def clause_span(self, term_id: int) -> tuple[int, int] | None:
+        """The clause-index range ``[start, end)`` this term's encoding emitted.
+
+        The range covers the defining clauses of the term and of every
+        subterm that was first encoded while encoding it; subterms shared
+        with earlier encodings carry their own (earlier) spans.  ``None`` for
+        terms this encoder has never seen.
+        """
+        return self._clause_spans.get(term_id)
 
     # -- encoding ---------------------------------------------------------------
 

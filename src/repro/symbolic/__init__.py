@@ -7,7 +7,7 @@ exported here.  Running them on constant inputs folds to concrete values
 produces SMT terms for the verification conditions.
 """
 
-from repro.symbolic.context import fresh_name, reset_fresh_names
+from repro.symbolic.context import exact_names, fresh_name, reset_fresh_names
 from repro.symbolic.generic import ite_value, values_equal
 from repro.symbolic.option import SymOption
 from repro.symbolic.record import SymRecord
@@ -26,6 +26,7 @@ from repro.symbolic.shapes import (
 from repro.symbolic.values import EnumType, SymBV, SymBool, SymEnum, all_of, any_of
 
 __all__ = [
+    "exact_names",
     "fresh_name",
     "reset_fresh_names",
     "ite_value",

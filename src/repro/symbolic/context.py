@@ -7,24 +7,61 @@ routes must never collide.
 
 The counter is process-global (the solver pipeline is stateless between
 queries), but can be reset for reproducible tests.
+
+Callers that manage uniqueness themselves — the verification-condition
+encoder names its per-query variables deterministically so that identical
+sub-structure hash-conses to identical terms across queries — can suspend
+the counter with the :func:`exact_names` context manager, under which
+prefixes are used verbatim.
 """
 
 from __future__ import annotations
 
 import itertools
 import re
+from contextlib import contextmanager
 from typing import Iterator
 
 _counter: Iterator[int] = itertools.count()
+
+_exact_depth = 0
 
 #: Characters allowed in a name prefix; anything else is replaced by ``_``.
 _SAFE_PREFIX = re.compile(r"[^A-Za-z0-9_.$\-]")
 
 
 def fresh_name(prefix: str = "sym") -> str:
-    """Return a globally unique variable name starting with ``prefix``."""
+    """Return a variable name starting with ``prefix``.
+
+    Outside an :func:`exact_names` block the name is made globally unique by
+    appending a process-wide counter (after sanitising the prefix); inside
+    one, the prefix is returned **verbatim** — unsanitised, because lossy
+    sanitisation could collapse two distinct names into one — and the caller
+    is responsible for uniqueness within its query and for avoiding the
+    bit-blaster's ``#`` separator.
+    """
+    if _exact_depth:
+        return prefix
     cleaned = _SAFE_PREFIX.sub("_", prefix) or "sym"
     return f"{cleaned}!{next(_counter)}"
+
+
+@contextmanager
+def exact_names() -> Iterator[None]:
+    """Use name prefixes verbatim (no ``!N`` suffix) inside the block.
+
+    Intended for encoders that scope variable names to a single solver query
+    and pick prefixes that cannot collide within it.  Deterministic names
+    make structurally identical queries produce *identical* hash-consed
+    terms, which is what lets the incremental SMT backend reuse bit-blasting
+    and CNF encoding across queries.
+    """
+    global _exact_depth
+    _exact_depth += 1
+    try:
+        yield
+    finally:
+        _exact_depth -= 1
 
 
 def reset_fresh_names() -> None:

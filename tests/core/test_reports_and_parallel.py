@@ -1,5 +1,7 @@
 """Tests for counterexample rendering, report aggregation and the parallel runner."""
 
+import pytest
+
 from repro.core.counterexample import Counterexample
 from repro.core.parallel import check_nodes_in_parallel
 from repro.core.results import (
@@ -131,3 +133,51 @@ class TestParallelRunner:
         report = core.check_modular(annotated, jobs=2)
         assert not report.passed
         assert report.counterexamples()
+
+    def test_pool_setup_failure_warns_and_degrades_to_sequential(self, monkeypatch):
+        import repro.core.parallel as parallel
+
+        class _FailingContext:
+            def Pool(self, processes):
+                raise OSError("no semaphores on this platform")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", lambda kind: _FailingContext()
+        )
+        annotated = self._annotated()
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            reports = check_nodes_in_parallel(
+                annotated,
+                annotated.nodes,
+                delay=0,
+                jobs=2,
+                conditions=core.CONDITION_KINDS,
+                fail_fast=True,
+            )
+        assert sorted(report.node for report in reports) == sorted(annotated.nodes)
+        assert all(report.passed for report in reports)
+
+    def test_worker_crashes_propagate_instead_of_rerunning_sequentially(self):
+        # A crashing interface used to be swallowed by a blanket
+        # ``except Exception`` that silently reran everything sequentially —
+        # which would crash again, but only after masking where the error
+        # came from (and retrying work that was never going to succeed).
+        topology = path_topology(3)
+        network = shortest_path_network(topology, "n0")
+
+        def exploding_predicate(route):
+            raise RuntimeError("worker exploded")
+
+        annotated = core.annotate(
+            network,
+            {node: core.globally(exploding_predicate) for node in topology.nodes},
+        )
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            check_nodes_in_parallel(
+                annotated,
+                annotated.nodes,
+                delay=0,
+                jobs=2,
+                conditions=core.CONDITION_KINDS,
+                fail_fast=True,
+            )

@@ -143,6 +143,124 @@ class TestCdclBasics:
         assert solver.statistics["decisions"] >= 1
 
 
+class TestAssumptionBacktracking:
+    """Regressions for the assumption-state corruption bug.
+
+    ``solve`` used to return UNSAT without unwinding the trail when a later
+    assumption was falsified by an earlier assumption's propagation, leaving
+    the solver at a nonzero decision level — any subsequent ``add_clause``
+    raised and later ``solve`` calls saw a polluted trail.
+    """
+
+    def test_failed_assumption_backtracks_to_level_zero(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])  # 1 implies 2
+        # Assuming 1 propagates 2, so the later assumption -2 is falsified.
+        assert solver.solve(assumptions=[1, -2]) == SatStatus.UNSAT
+        assert solver.decision_level == 0
+
+    def test_add_clause_works_after_failed_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1, -2]) == SatStatus.UNSAT
+        solver.add_clause([3])  # raised SolverError before the fix
+        assert solver.solve() == SatStatus.SAT
+        assert solver.model()[3] is True
+
+    def test_resolve_after_failed_assumptions_sees_clean_trail(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1, -2]) == SatStatus.UNSAT
+        # The earlier assumption must not linger: -1 alone is satisfiable.
+        assert solver.solve(assumptions=[-1]) == SatStatus.SAT
+        assert solver.model()[1] is False
+        assert solver.solve(assumptions=[1]) == SatStatus.SAT
+        assert solver.model()[2] is True
+
+    def test_solver_is_reusable_after_sat(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) == SatStatus.SAT
+        assert solver.decision_level == 0
+        solver.add_clause([-2, 3])  # adding clauses after SAT must work too
+        assert solver.solve(assumptions=[-1]) == SatStatus.SAT
+        model = solver.model()
+        assert model[2] and model[3]
+
+    def test_late_clause_falsified_by_root_assignments(self):
+        # A clause whose literals are all false at level 0 when it arrives
+        # must be detected even though propagation never revisits them.
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([2])
+        assert solver.solve() == SatStatus.SAT
+        solver.add_clause([-1, -2])
+        assert solver.solve() == SatStatus.UNSAT
+
+    def test_assumption_failure_does_not_poison_the_database(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-1, -2])  # 1 is contradictory, 2 free otherwise
+        assert solver.solve(assumptions=[1]) == SatStatus.UNSAT
+        # The database itself is satisfiable; failure under assumptions must
+        # not have set the permanent unsatisfiable flag.
+        assert solver.solve() == SatStatus.SAT
+        assert solver.model()[1] is False
+
+
+class TestLearnedClauseDeletion:
+    def _hard_random_clauses(self, rng, num_vars=14, num_clauses=60):
+        # Random 3-SAT near the phase transition: enough conflicts that the
+        # tiny max_learned budgets below actually trigger deletion.
+        clauses = []
+        for _ in range(num_clauses):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append([rng.choice([1, -1]) * v for v in variables])
+        return clauses
+
+    def test_aggressive_deletion_does_not_change_answers(self):
+        rng = random.Random(20260729)
+        total_deleted = 0
+        for _ in range(30):
+            clauses = self._hard_random_clauses(rng)
+            aggressive = CdclSolver(max_learned=4)
+            brute = BruteForceSolver()
+            for clause in clauses:
+                aggressive.add_clause(list(clause))
+                brute.add_clause(list(clause))
+            expected = brute.solve()
+            actual = aggressive.solve()
+            assert actual == expected, f"disagreement on {clauses}"
+            if actual == SatStatus.SAT:
+                model = aggressive.model()
+                for clause in clauses:
+                    assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+            total_deleted += aggressive.statistics["deleted"]
+        # The tiny budget must actually have exercised the deletion path.
+        assert total_deleted > 0
+
+    def test_deletion_under_assumptions(self):
+        rng = random.Random(4242)
+        for _ in range(15):
+            clauses = self._hard_random_clauses(rng)
+            assumptions = [rng.choice([1, -1]) * rng.randint(1, 14) for _ in range(2)]
+            aggressive = CdclSolver(max_learned=2)
+            brute = BruteForceSolver()
+            for clause in clauses:
+                aggressive.add_clause(list(clause))
+                brute.add_clause(list(clause))
+            for literal in assumptions:
+                brute.add_clause([literal])
+            expected = brute.solve()
+            actual = aggressive.solve(assumptions=assumptions)
+            assert actual == expected, f"disagreement on {clauses} under {assumptions}"
+            # Reusable afterwards: the unassumed database answer still agrees.
+            plain_brute = BruteForceSolver()
+            for clause in clauses:
+                plain_brute.add_clause(list(clause))
+            assert aggressive.solve() == plain_brute.solve()
+
+
 def _random_clauses(rng, max_vars=10, max_clauses=40):
     num_vars = rng.randint(1, max_vars)
     num_clauses = rng.randint(1, max_clauses)

@@ -31,8 +31,19 @@ class TestCheckSat:
         x = smt.bv_var("x", 4)
         result = smt.check_sat(smt.and_(smt.bv_ult(x, smt.bv_const(2, 4)), smt.bv_ugt(x, smt.bv_const(10, 4))))
         assert result.is_unsat
-        with pytest.raises(SolverError):
+        with pytest.raises(SolverError, match="unsat"):
             result.model()
+
+    def test_model_error_reports_the_actual_status(self):
+        # A timed-out query is UNKNOWN, not unsatisfiable — the error message
+        # must not claim otherwise.
+        from repro.smt.sat.solver import SatStatus
+
+        result = smt.CheckResult(SatStatus.UNKNOWN, None)
+        with pytest.raises(SolverError, match="unknown"):
+            result.model()
+        with pytest.raises(SolverError, match="unsat"):
+            smt.CheckResult(SatStatus.UNSAT, None).model()
 
     def test_model_evaluate_satisfies_goal(self):
         x, y = smt.bv_var("x", 6), smt.bv_var("y", 6)
