@@ -10,9 +10,16 @@ separately for the smallest sweep point.
 
 from __future__ import annotations
 
-from repro.core import check_modular, check_monolithic
-from repro.harness import SweepSettings, scaling_comparison, scaling_table
+from repro.core import check_modular, check_monolithic, condition_verdicts
+from repro.harness import (
+    SweepSettings,
+    cache_statistics_table,
+    scaling_comparison,
+    scaling_table,
+    symmetry_table,
+)
 from repro.networks import build_benchmark
+from repro.smt.incremental import reset_process_solver
 
 
 def test_figure1_series(benchmark, bench_pods, bench_timeout, bench_jobs, capsys):
@@ -30,6 +37,43 @@ def test_figure1_series(benchmark, bench_pods, bench_timeout, bench_jobs, capsys
         assert point.modular is not None and point.modular.passed
         assert point.monolithic is not None
         assert point.monolithic.passed or point.monolithic.timed_out
+
+
+def test_figure1_symmetry_scaling(bench_pods, bench_jobs, capsys):
+    """Scaling comparison: symmetry-aware vs per-node modular checking.
+
+    At every sweep point the two modes must agree on every verdict while the
+    symmetry-aware run discharges a number of conditions bounded by the
+    (constant) class count rather than the node count — the class count
+    stays at six while ``1.25·k²`` grows, which is what makes the symmetry
+    curve flat.
+    """
+    points = {"off": [], "classes": []}
+    for mode in points:
+        settings = SweepSettings(jobs=bench_jobs, run_monolithic=False, symmetry=mode)
+        reset_process_solver()
+        points[mode] = scaling_comparison("reach", bench_pods, settings=settings)
+        reset_process_solver()
+
+    with capsys.disabled():
+        print("\n[Figure 1b] per-node vs symmetry-aware modular checking (policy: reach)")
+        for mode, results in points.items():
+            print(f"\nsymmetry={mode}")
+            print(symmetry_table(results))
+        print()
+        print(cache_statistics_table(points["classes"]))
+
+    for off_point, classes_point in zip(points["off"], points["classes"]):
+        assert condition_verdicts(off_point.modular) == condition_verdicts(classes_point.modular)
+        assert (
+            classes_point.modular.conditions_discharged
+            < off_point.modular.conditions_discharged
+        )
+        # Classes per point stay bounded by a constant (six for
+        # single-destination reach; five at pods=2, where the destination's
+        # pod has no other edge switch), so the discharged count does not
+        # grow with the topology.
+        assert classes_point.modular.symmetry_classes <= 6
 
 
 def test_benchmark_modular_smallest_point(benchmark, bench_pods):

@@ -1,0 +1,93 @@
+"""Fast symmetry smoke check for CI (and a JSON ablation artifact).
+
+Runs every single-destination fattree benchmark family at a small pod count
+in ``symmetry="off"`` and ``symmetry="spot-check"`` modes, asserts the
+verdicts are byte-identical, and writes the ablation numbers (discharged /
+propagated conditions, class counts, wall times, backend cache counters) as
+JSON so the CI workflow can upload them as an artifact::
+
+    PYTHONPATH=src python benchmarks/symmetry_smoke.py --pods 4 --out symmetry-ablation.json
+
+Exits non-zero on any verdict mismatch or failed check, so a wrong
+canonicalization or symmetry hint fails the job rather than silently
+propagating unsound verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro import core
+from repro.networks.benchmarks import POLICIES, build_benchmark
+from repro.smt.incremental import reset_process_solver
+
+MODES = ("off", "spot-check")
+
+
+def run_smoke(pods: int) -> tuple[bool, dict]:
+    """Run the smoke comparison; returns (ok, JSON-serialisable payload)."""
+    payload: dict = {"pods": pods, "modes": list(MODES), "families": {}}
+    ok = True
+    for policy in POLICIES:
+        instance = build_benchmark(policy, pods)
+        rows = {}
+        verdicts = {}
+        for mode in MODES:
+            reset_process_solver()
+            started = time.perf_counter()
+            report = core.check_modular(instance.annotated, symmetry=mode)
+            elapsed = time.perf_counter() - started
+            reset_process_solver()
+            verdicts[mode] = core.condition_verdicts(report)
+            rows[mode] = {
+                "passed": report.passed,
+                "seconds": round(elapsed, 3),
+                "classes": report.symmetry_classes,
+                "conditions_discharged": report.conditions_discharged,
+                "conditions_propagated": report.conditions_propagated,
+                "backend_cache": report.backend_cache,
+            }
+        identical = all(verdicts[mode] == verdicts[MODES[0]] for mode in MODES)
+        family_ok = identical and all(row["passed"] for row in rows.values())
+        ok = ok and family_ok
+        payload["families"][instance.name] = {
+            "policy": policy,
+            "verdicts_identical": identical,
+            "ok": family_ok,
+            **{mode: rows[mode] for mode in MODES},
+        }
+        status = "ok" if family_ok else "MISMATCH"
+        print(
+            f"{instance.name:<10} {status:<9} "
+            f"off: {rows['off']['conditions_discharged']} conditions in {rows['off']['seconds']}s; "
+            f"spot-check: {rows['spot-check']['conditions_discharged']} in "
+            f"{rows['spot-check']['seconds']}s ({rows['spot-check']['classes']} classes)"
+        )
+    payload["ok"] = ok
+    return ok, payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="symmetry smoke check")
+    parser.add_argument("--pods", type=int, default=4, help="fattree pod count (default: 4)")
+    parser.add_argument("--out", default=None, help="write the ablation JSON to this path")
+    arguments = parser.parse_args(argv)
+
+    ok, payload = run_smoke(arguments.pods)
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.out}")
+    if not ok:
+        print("symmetry smoke FAILED: verdicts diverged between modes", file=sys.stderr)
+        return 1
+    print("symmetry smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

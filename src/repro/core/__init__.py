@@ -8,11 +8,12 @@ the Minesweeper-style monolithic baseline (:func:`check_monolithic`).
 """
 
 from repro.core.annotations import AnnotatedNetwork, annotate
-from repro.core.checker import assert_verified, check_modular, check_node
+from repro.core.checker import assert_verified, check_class, check_modular, check_node
 from repro.core.conditions import (
     CONDITION_KINDS,
     INDUCTIVE,
     INITIAL,
+    NAMING_SCHEMES,
     SAFETY,
     VerificationCondition,
     inductive_condition,
@@ -20,6 +21,7 @@ from repro.core.conditions import (
     node_conditions,
     safety_condition,
 )
+from repro.core.symmetry import SYMMETRY_MODES, SymmetryClass, partition_nodes
 from repro.core.counterexample import Counterexample
 from repro.core.monolithic import check_monolithic, erased_property, stable_state_constraints
 from repro.core.results import (
@@ -66,11 +68,17 @@ __all__ = [
     "safety_condition",
     "node_conditions",
     "CONDITION_KINDS",
+    "NAMING_SCHEMES",
     "INITIAL",
     "INDUCTIVE",
     "SAFETY",
+    # symmetry reduction
+    "SYMMETRY_MODES",
+    "SymmetryClass",
+    "partition_nodes",
     # checking
     "check_node",
+    "check_class",
     "check_modular",
     "assert_verified",
     "check_monolithic",

@@ -9,7 +9,7 @@ for the logical-time variable.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Hashable, Mapping
 
 from repro.errors import VerificationError
 from repro.routing.algebra import Network
@@ -18,9 +18,18 @@ from repro.core.temporal import TemporalLike, TemporalPredicate, always_true, li
 #: Anything accepted as a per-node annotation map.
 AnnotationMap = Mapping[str, TemporalLike] | Callable[[str], TemporalLike]
 
+#: A symmetry hint: maps a node to a hashable equivalence-class key, or
+#: ``None`` to make the node a singleton class.  See :mod:`repro.core.symmetry`.
+SymmetryKey = Callable[[str], Hashable | None]
+
 
 class AnnotatedNetwork:
-    """A network together with its node interfaces and node properties."""
+    """A network together with its node interfaces and node properties.
+
+    ``symmetry_key`` optionally names each node's symmetry class (builders
+    that know their topology — e.g. fattree benchmarks — attach one so the
+    symmetry-aware checker can skip the generic canonical-form hashing).
+    """
 
     def __init__(
         self,
@@ -28,11 +37,13 @@ class AnnotatedNetwork:
         interfaces: AnnotationMap,
         properties: AnnotationMap,
         minimum_time_width: int = 2,
+        symmetry_key: SymmetryKey | None = None,
     ) -> None:
         self.network = network
         self._interfaces = self._materialise(interfaces, "interface")
         self._properties = self._materialise(properties, "property")
         self.minimum_time_width = minimum_time_width
+        self.symmetry_key = symmetry_key
 
     # -- construction helpers -----------------------------------------------------
 
@@ -99,6 +110,7 @@ class AnnotatedNetwork:
             interfaces=dict(self._properties),
             properties=dict(self._properties),
             minimum_time_width=self.minimum_time_width,
+            symmetry_key=self.symmetry_key,
         )
 
     def __repr__(self) -> str:

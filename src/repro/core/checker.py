@@ -13,18 +13,89 @@ and consecutive nodes checked by the same worker — share encoded structure
 and learned clauses.  Pass ``incremental=False`` (or an explicit ``solver``)
 to fall back to a fresh SAT instance per condition; the verdicts are
 identical either way, only the cost differs (see the ablation benchmarks).
+
+**Symmetry reduction.**  ``check_modular(..., symmetry="classes")`` first
+partitions the nodes into equivalence classes (:mod:`repro.core.symmetry`) —
+via benchmark-supplied metadata hints or a generic canonical-form hash of
+each node's conditions — then discharges the conditions of one
+representative per class and propagates the verdict (with a positionally
+translated counterexample) to the remaining members.  All of a class is
+discharged in one SAT scope, so encoded clauses and learned clauses are
+shared across the entire class.  ``symmetry="spot-check"`` additionally
+re-verifies one deterministically chosen extra member per class and raises
+if its verdict disagrees with the representative's — the guard against a
+wrong canonicalization or hint.  Verdicts are identical across all three
+modes; only the number of discharged conditions (and the wall time) differs.
 """
 
 from __future__ import annotations
 
+import random
 import time as _time
 from typing import Any, Iterable, Sequence
 
 from repro.core.annotations import AnnotatedNetwork
-from repro.core.conditions import CONDITION_KINDS, node_conditions
+from repro.core.conditions import CONDITION_KINDS, VerificationCondition, node_conditions
 from repro.core.results import ConditionResult, ModularReport, NodeReport, merge_reports
+from repro.core.symmetry import SYMMETRY_MODES, SymmetryClass, partition_nodes, translate_counterexample
 from repro.errors import VerificationError
-from repro.smt.incremental import process_solver
+from repro.smt.incremental import (
+    process_cache_statistics,
+    process_solver,
+    subtract_cache_statistics,
+)
+
+
+def _discharge(
+    conditions: Iterable[VerificationCondition],
+    kinds: Sequence[str],
+    fail_fast: bool,
+    solver: Any,
+) -> list[ConditionResult]:
+    """Discharge ``conditions`` (restricted to ``kinds``) on ``solver``."""
+    results: list[ConditionResult] = []
+    for condition in conditions:
+        if condition.kind not in kinds:
+            continue
+        result = condition.check(solver=solver)
+        results.append(result)
+        if fail_fast and not result.holds:
+            break
+    return results
+
+
+def _acquire_solver(solver: Any | None, incremental: bool) -> tuple[Any | None, bool]:
+    """The backend for one node/class batch, opening a fresh SAT scope.
+
+    When the caller pinned no solver and asked for the incremental backend,
+    the shared per-process solver is used with a new scope: the batch's
+    conditions share the scope's clause database and learned clauses, while
+    the process solver's encoding caches persist across batches (and whole
+    runs).  The second element reports whether the checker *owns* the
+    returned backend (acquired it here rather than receiving it pinned).
+    """
+    if solver is None and incremental:
+        solver = process_solver()
+        solver.new_scope()
+        return solver, True
+    return solver, False
+
+
+def _recover_solver(solver: Any | None, owned: bool) -> None:
+    """Reset an internally-acquired backend after an exception escaped.
+
+    Without this, a crashed check (a user interface raising, an interrupted
+    solve) could leave the per-process solver's SAT trail or assertion
+    frames inconsistent and silently poison every later node's verdict.
+    Caller-pinned solvers are left alone: ``recover()`` drops every frame
+    above the root, which would destroy assertions the caller pushed for
+    its own purposes — their cleanup policy is theirs to choose.
+    """
+    if not owned:
+        return
+    recover = getattr(solver, "recover", None)
+    if recover is not None:
+        recover()
 
 
 def check_node(
@@ -45,27 +116,149 @@ def check_node(
 
     ``solver`` pins the SMT backend for all of the node's conditions; when
     omitted, the shared per-process incremental solver is used unless
-    ``incremental=False`` requests fresh per-condition SAT instances.
+    ``incremental=False`` requests fresh per-condition SAT instances.  If a
+    condition raises, the shared backend is restored to a clean state before
+    the exception propagates, so subsequent checks stay sound.
     """
     unknown = set(conditions) - set(CONDITION_KINDS)
     if unknown:
         raise VerificationError(f"unknown condition kinds {sorted(unknown)}")
-    if solver is None and incremental:
-        # One SAT scope per node: the three conditions share the scope's
-        # clause database and learned clauses, while the process solver's
-        # encoding caches persist across nodes (and whole runs).
-        solver = process_solver()
-        solver.new_scope()
+    solver, owned = _acquire_solver(solver, incremental)
     started = _time.perf_counter()
-    results: list[ConditionResult] = []
-    for condition in node_conditions(annotated, node, delay=delay):
-        if condition.kind not in conditions:
-            continue
-        result = condition.check(solver=solver)
-        results.append(result)
-        if fail_fast and not result.holds:
-            break
+    try:
+        results = _discharge(
+            node_conditions(annotated, node, delay=delay), conditions, fail_fast, solver
+        )
+    except BaseException:
+        _recover_solver(solver, owned)
+        raise
     return NodeReport(node=node, results=results, duration=_time.perf_counter() - started)
+
+
+def check_class(
+    annotated: AnnotatedNetwork,
+    symmetry_class: SymmetryClass,
+    delay: int = 0,
+    conditions: Sequence[str] = CONDITION_KINDS,
+    fail_fast: bool = True,
+    solver: Any | None = None,
+    incremental: bool = True,
+) -> list[NodeReport]:
+    """Check one symmetry class: discharge the representative, reuse the rest.
+
+    Returns a report per member, in member order.  The representative's
+    conditions are built with class-canonical naming and discharged in one
+    SAT scope; every other member receives the representative's verdicts as
+    propagated :class:`ConditionResult` records (duration 0, counterexamples
+    translated by the positional neighbour correspondence).  When the class
+    carries a ``spot_member``, that member's conditions are rebuilt from
+    scratch and discharged in the *same* scope — with a correct
+    canonicalization this re-assumes the identical terms (nearly free, and
+    it exercises the scope sharing); with a wrong metadata hint the verdicts
+    can diverge, which raises :class:`VerificationError` instead of silently
+    propagating an unsound verdict.
+    """
+    representative = symmetry_class.representative
+    solver, owned = _acquire_solver(solver, incremental)
+    topology = annotated.network.topology
+
+    started = _time.perf_counter()
+    try:
+        built = symmetry_class.conditions
+        if built is None or symmetry_class.conditions_delay != delay:
+            # No cached conditions (metadata-hint path), or the cache was
+            # built for a different delay than this check requests.
+            built = tuple(node_conditions(annotated, representative, delay=delay, naming="class"))
+        results = _discharge(built, conditions, fail_fast, solver)
+    except BaseException:
+        _recover_solver(solver, owned)
+        raise
+    reports = [
+        NodeReport(node=representative, results=results, duration=_time.perf_counter() - started)
+    ]
+
+    representative_preds = topology.predecessors(representative)
+    for member in symmetry_class.members[1:]:
+        if member == symmetry_class.spot_member:
+            reports.append(
+                _spot_check_member(
+                    annotated,
+                    symmetry_class,
+                    member,
+                    results,
+                    delay,
+                    conditions,
+                    fail_fast,
+                    solver,
+                    owned,
+                )
+            )
+            continue
+        member_started = _time.perf_counter()
+        member_results = [
+            ConditionResult(
+                node=member,
+                condition=result.condition,
+                holds=result.holds,
+                duration=0.0,
+                counterexample=(
+                    None
+                    if result.counterexample is None
+                    else translate_counterexample(
+                        result.counterexample,
+                        member,
+                        representative_preds,
+                        topology.predecessors(member),
+                    )
+                ),
+                propagated_from=representative,
+            )
+            for result in results
+        ]
+        reports.append(
+            NodeReport(
+                node=member,
+                results=member_results,
+                duration=_time.perf_counter() - member_started,
+            )
+        )
+    return reports
+
+
+def _spot_check_member(
+    annotated: AnnotatedNetwork,
+    symmetry_class: SymmetryClass,
+    member: str,
+    representative_results: list[ConditionResult],
+    delay: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    solver: Any,
+    owned: bool,
+) -> NodeReport:
+    """Fully re-verify one class member and compare against the representative."""
+    member_started = _time.perf_counter()
+    try:
+        member_results = _discharge(
+            node_conditions(annotated, member, delay=delay, naming="class"),
+            conditions,
+            fail_fast,
+            solver,
+        )
+    except BaseException:
+        _recover_solver(solver, owned)
+        raise
+    expected = [(result.condition, result.holds) for result in representative_results]
+    observed = [(result.condition, result.holds) for result in member_results]
+    if expected != observed:
+        raise VerificationError(
+            f"symmetry spot-check failed: class member {member!r} decided {observed} "
+            f"but representative {symmetry_class.representative!r} decided {expected}; "
+            "the symmetry classes (metadata hints?) are unsound for this network"
+        )
+    return NodeReport(
+        node=member, results=member_results, duration=_time.perf_counter() - member_started
+    )
 
 
 def check_modular(
@@ -76,46 +269,121 @@ def check_modular(
     conditions: Sequence[str] = CONDITION_KINDS,
     fail_fast: bool = True,
     incremental: bool = True,
+    symmetry: str = "off",
+    spot_check_seed: int = 0,
 ) -> ModularReport:
     """Run the modular checking procedure over ``nodes`` (default: all nodes).
 
-    ``jobs > 1`` distributes node checks over a process pool; the per-node
-    timing statistics are identical either way, only the wall-clock time
-    changes.  Each worker process reuses its own incremental solver across
-    the nodes it checks (disable with ``incremental=False``).
+    ``jobs > 1`` distributes checks over a process pool; the verdicts are
+    identical either way, only the wall-clock time changes.  Each worker
+    process reuses its own incremental solver across the batches it checks
+    (disable with ``incremental=False``).
+
+    ``symmetry`` selects the reduction mode: ``"off"`` checks every node,
+    ``"classes"`` discharges one representative per equivalence class and
+    propagates verdicts, ``"spot-check"`` additionally re-verifies one
+    deterministically chosen member per class (seeded by
+    ``spot_check_seed``) as a guard against wrong symmetry hints.  With
+    symmetry on, parallel work is partitioned by class rather than by node,
+    so each worker's encoding caches stay hot on one structural shape at a
+    time.
+
+    Report ordering is deterministic: node reports appear in the order of
+    ``nodes`` (or ``annotated.nodes``) regardless of symmetry mode, job
+    count or scheduling, so counterexample selection is reproducible.
     """
+    if symmetry not in SYMMETRY_MODES:
+        raise VerificationError(f"unknown symmetry mode {symmetry!r}; choose one of {SYMMETRY_MODES}")
     selected = tuple(nodes) if nodes is not None else annotated.nodes
     for node in selected:
         if node not in annotated.nodes:
             raise VerificationError(f"unknown node {node!r}")
 
     started = _time.perf_counter()
-    if jobs > 1:
-        from repro.core.parallel import check_nodes_in_parallel
+    class_count: int | None = None
+    cache_before: dict[str, int] | None = None
+    cache_delta: dict[str, int] | None = None
 
-        reports = check_nodes_in_parallel(
-            annotated,
-            selected,
-            delay=delay,
-            jobs=jobs,
-            conditions=conditions,
-            fail_fast=fail_fast,
-            incremental=incremental,
-        )
-    else:
-        reports = [
-            check_node(
+    if symmetry == "off":
+        if jobs > 1:
+            # Worker-process cache counters are not observable from here, so
+            # no snapshot is taken (the report carries backend_cache=None).
+            from repro.core.parallel import check_nodes_in_parallel
+
+            reports = check_nodes_in_parallel(
                 annotated,
-                node,
+                selected,
                 delay=delay,
+                jobs=jobs,
                 conditions=conditions,
                 fail_fast=fail_fast,
                 incremental=incremental,
             )
-            for node in selected
-        ]
+        else:
+            if incremental:
+                cache_before = process_cache_statistics()
+            reports = [
+                check_node(
+                    annotated,
+                    node,
+                    delay=delay,
+                    conditions=conditions,
+                    fail_fast=fail_fast,
+                    incremental=incremental,
+                )
+                for node in selected
+            ]
+    else:
+        classes = partition_nodes(annotated, selected, delay=delay, conditions=conditions)
+        class_count = len(classes)
+        if symmetry == "spot-check":
+            rng = random.Random(spot_check_seed)
+            for symmetry_class in classes:
+                if len(symmetry_class) > 1:
+                    symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
+        if jobs > 1:
+            from repro.core.parallel import check_classes_in_parallel
+
+            reports, cache_delta = check_classes_in_parallel(
+                annotated,
+                classes,
+                delay=delay,
+                jobs=jobs,
+                conditions=conditions,
+                fail_fast=fail_fast,
+                incremental=incremental,
+            )
+        else:
+            if incremental:
+                cache_before = process_cache_statistics()
+            reports = [
+                report
+                for symmetry_class in classes
+                for report in check_class(
+                    annotated,
+                    symmetry_class,
+                    delay=delay,
+                    conditions=conditions,
+                    fail_fast=fail_fast,
+                    incremental=incremental,
+                )
+            ]
+        # Classes interleave the node order; restore the selection order so
+        # reports (and counterexample enumeration) are reproducible.
+        order = {node: index for index, node in enumerate(selected)}
+        reports.sort(key=lambda report: order[report.node])
+
+    if cache_before is not None:
+        cache_delta = subtract_cache_statistics(process_cache_statistics(), cache_before)
     wall_time = _time.perf_counter() - started
-    return merge_reports(reports, wall_time=wall_time, parallelism=max(1, jobs))
+    return merge_reports(
+        reports,
+        wall_time=wall_time,
+        parallelism=max(1, jobs),
+        symmetry=symmetry,
+        symmetry_classes=class_count,
+        backend_cache=cache_delta,
+    )
 
 
 def assert_verified(report: ModularReport) -> None:

@@ -29,6 +29,24 @@ network's symbolic constraints, re-checks of the same node) hash-cons to
 *identical* terms.  That is what lets the incremental SMT backend
 (:mod:`repro.smt.incremental`) bit-blast and CNF-encode every distinct
 subterm once per process instead of once per query.
+
+**Class-canonical naming.**  The ``naming`` parameter widens the scheme.
+With the default ``naming="sender"`` a neighbour's route is named after the
+node that sends it, which shares the sender's interface block across every
+receiver.  With ``naming="class"`` routes are instead named by *position*:
+the route from the ``i``-th in-neighbour (in the topology's deterministic
+predecessor order) is ``vc$route.%i``, and the node's own route in the
+safety condition is ``vc$route.%self``.  Positional names erase node
+identity from the query, so two nodes whose conditions differ only by a
+node renaming — e.g. every edge switch of a non-destination fattree pod —
+produce *term-identical* conditions (including the ``updated_route`` term,
+which now hash-conses across nodes).  Term identity is what the symmetry
+layer (:mod:`repro.core.symmetry`) keys equivalence classes on, and what
+lets the incremental backend reuse one SAT scope — encoded clauses and
+learned clauses alike — across an entire class: the members' queries are
+the same query.  The ``%`` escape character guarantees positional names can
+never collide with an escaped sender name (escapes only ever emit ``%25``,
+``%23`` or ``%2e``).
 """
 
 from __future__ import annotations
@@ -49,6 +67,11 @@ INDUCTIVE = "inductive"
 SAFETY = "safety"
 
 CONDITION_KINDS = (INITIAL, INDUCTIVE, SAFETY)
+
+#: Route-variable naming schemes (see module docstring): ``sender`` names a
+#: neighbour route after its sender, ``class`` names it by predecessor
+#: position so isomorphic nodes yield term-identical conditions.
+NAMING_SCHEMES = ("sender", "class")
 
 #: Name prefix reserved for the deterministically named per-query variables
 #: of the verification conditions.  Network models must not use it for their
@@ -76,16 +99,29 @@ def _query_time(node: str, width: int) -> SymBV:
         return SymBV.fresh(width, f"{VC_PREFIX}time")
 
 
-def _query_route(network: Any, owner: str) -> Any:
-    """A symbolic route named after the node that (conceptually) sends it.
+def _query_route(
+    network: Any, owner: str, naming: str = "sender", position: int | None = None
+) -> Any:
+    """A symbolic route for one query, named per the ``naming`` scheme.
 
-    Naming routes by sender — not by the (sender, receiver) edge — makes the
-    assumption block ``wf(route) ∧ interface(sender)(route, t)`` an identical
-    term in the inductive condition of *every* receiver of that sender, and
-    in the sender's own safety condition.
+    With ``naming="sender"`` the route is named after the node that
+    (conceptually) sends it — not the (sender, receiver) edge — which makes
+    the assumption block ``wf(route) ∧ interface(sender)(route, t)`` an
+    identical term in the inductive condition of *every* receiver of that
+    sender, and in the sender's own safety condition.
+
+    With ``naming="class"`` the route is named by its predecessor
+    ``position`` (or ``%self`` for the node's own route), erasing node
+    identity so isomorphic nodes produce term-identical queries.
     """
+    if naming == "sender":
+        suffix = _escape_node_name(owner)
+    elif naming == "class":
+        suffix = "%self" if position is None else f"%{position}"
+    else:
+        raise VerificationError(f"unknown naming scheme {naming!r}; choose one of {NAMING_SCHEMES}")
     with exact_names():
-        return network.route_shape.fresh(f"{VC_PREFIX}route.{_escape_node_name(owner)}")
+        return network.route_shape.fresh(f"{VC_PREFIX}route.{suffix}")
 
 
 @dataclass
@@ -177,7 +213,7 @@ def initial_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCon
 
 
 def inductive_condition(
-    annotated: AnnotatedNetwork, node: str, delay: int = 0
+    annotated: AnnotatedNetwork, node: str, delay: int = 0, naming: str = "sender"
 ) -> VerificationCondition:
     """The inductive condition (equation 6), optionally with bounded delay."""
     if delay < 0:
@@ -194,8 +230,8 @@ def inductive_condition(
     assumptions = assumptions & (time_variable <= max_time - delay - 1)
 
     neighbor_routes: dict[str, Any] = {}
-    for neighbor in network.topology.predecessors(node):
-        route = _query_route(network, neighbor)
+    for position, neighbor in enumerate(network.topology.predecessors(node)):
+        route = _query_route(network, neighbor, naming=naming, position=position)
         neighbor_routes[neighbor] = route
         assumptions = assumptions & network.route_shape.constraint(route)
         interface = annotated.interface(neighbor)
@@ -221,14 +257,16 @@ def inductive_condition(
     )
 
 
-def safety_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCondition:
+def safety_condition(
+    annotated: AnnotatedNetwork, node: str, naming: str = "sender"
+) -> VerificationCondition:
     """``A(v)(t) ⊆ P(v)(t)`` for all times ``t`` (equation 7)."""
     network = annotated.network
     width = annotated.time_width()
     assumptions, symbolics = _network_symbolics(annotated)
 
     time_variable = _query_time(node, width)
-    route = _query_route(network, node)
+    route = _query_route(network, node, naming=naming)
     assumptions = assumptions & network.route_shape.constraint(route)
     assumptions = assumptions & annotated.interface(node)(route, time_variable)
     goal = annotated.node_property(node)(route, time_variable)
@@ -245,11 +283,13 @@ def safety_condition(annotated: AnnotatedNetwork, node: str) -> VerificationCond
 
 
 def node_conditions(
-    annotated: AnnotatedNetwork, node: str, delay: int = 0
+    annotated: AnnotatedNetwork, node: str, delay: int = 0, naming: str = "sender"
 ) -> list[VerificationCondition]:
     """All three verification conditions for ``node``."""
+    if naming not in NAMING_SCHEMES:
+        raise VerificationError(f"unknown naming scheme {naming!r}; choose one of {NAMING_SCHEMES}")
     return [
         initial_condition(annotated, node),
-        inductive_condition(annotated, node, delay=delay),
-        safety_condition(annotated, node),
+        inductive_condition(annotated, node, delay=delay, naming=naming),
+        safety_condition(annotated, node, naming=naming),
     ]

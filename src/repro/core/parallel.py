@@ -1,16 +1,26 @@
-"""Process-pool execution of per-node checks.
+"""Process-pool execution of per-node and per-class checks.
 
 Node checks share no state, so they parallelise trivially.  Annotated
 networks hold closures (transfer functions, interfaces) that are not
 picklable in general, so instead of shipping the network to worker processes
-we rely on ``fork``: the annotated network is stashed in a module-level slot
-before the pool is created, every forked worker inherits it, and only the
+we rely on ``fork``: the annotated network (and, with symmetry reduction,
+the precomputed symmetry classes) is stashed in a module-level slot before
+the pool is created, every forked worker inherits it, and only an index or
 node name travels over the queue.  The returned :class:`NodeReport` objects
 contain plain data and pickle fine.
 
 Each forked worker keeps its own per-process incremental SMT solver
-(:func:`repro.smt.process_solver`), so the nodes a worker checks share
-encoded structure and learned clauses exactly as in sequential mode.
+(:func:`repro.smt.process_solver`), so the batches a worker checks share
+encoded structure and learned clauses exactly as in sequential mode.  With
+symmetry reduction, work is partitioned by *equivalence class* rather than
+by node: one work item is one whole class, so a worker encodes one
+structural shape, discharges it once, and propagates verdicts to the class
+members without its caches ever being evicted by unrelated structure —
+batch-aware partitioning in the sense of batch-parallel data structures.
+Class work items are dispatched with ``chunksize=1`` in class order, which
+both balances the (very uneven) class sizes and keeps scheduling
+deterministic in its results: reports are reassembled in class order and
+re-sorted to node order by the caller.
 
 On platforms without ``fork``, or when the pool itself cannot be set up, the
 checker degrades to sequential execution with a :class:`RuntimeWarning` —
@@ -23,14 +33,24 @@ from __future__ import annotations
 
 import multiprocessing
 import warnings
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 from repro.core.annotations import AnnotatedNetwork
 from repro.core.results import NodeReport
+from repro.core.symmetry import SymmetryClass
+from repro.smt.incremental import (
+    add_cache_statistics,
+    process_cache_statistics,
+    subtract_cache_statistics,
+)
 
 # The network being checked by the current pool; inherited by forked workers.
 _ACTIVE_NETWORK: AnnotatedNetwork | None = None
 _ACTIVE_OPTIONS: dict | None = None
+_ACTIVE_CLASSES: Sequence[SymmetryClass] | None = None
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 def _check_one(node: str) -> NodeReport:
@@ -48,6 +68,103 @@ def _check_one(node: str) -> NodeReport:
     )
 
 
+def _check_class_with_delta(
+    annotated: AnnotatedNetwork,
+    symmetry_class: SymmetryClass,
+    delay: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    incremental: bool,
+) -> tuple[list[NodeReport], dict[str, int]]:
+    """Check one class and measure this process's cache-counter delta.
+
+    The single definition of the delta protocol — used verbatim by the
+    forked worker entry point and the sequential fallback, so both report
+    identical ``backend_cache`` statistics for identical inputs.
+    """
+    from repro.core.checker import check_class
+
+    before = process_cache_statistics() if incremental else {}
+    reports = check_class(
+        annotated,
+        symmetry_class,
+        delay=delay,
+        conditions=conditions,
+        fail_fast=fail_fast,
+        incremental=incremental,
+    )
+    delta = (
+        subtract_cache_statistics(process_cache_statistics(), before) if incremental else {}
+    )
+    return reports, delta
+
+
+def _check_one_class(index: int) -> tuple[list[NodeReport], dict[str, int]]:
+    """Worker entry point: check one symmetry class of the inherited network.
+
+    Returns the member reports plus the worker's incremental-backend cache
+    delta for this class, so the parent can aggregate statistics it cannot
+    observe directly (each worker has its own process solver).
+    """
+    assert _ACTIVE_NETWORK is not None and _ACTIVE_OPTIONS is not None
+    assert _ACTIVE_CLASSES is not None
+    return _check_class_with_delta(
+        _ACTIVE_NETWORK,
+        _ACTIVE_CLASSES[index],
+        delay=_ACTIVE_OPTIONS["delay"],
+        conditions=_ACTIVE_OPTIONS["conditions"],
+        fail_fast=_ACTIVE_OPTIONS["fail_fast"],
+        incremental=_ACTIVE_OPTIONS["incremental"],
+    )
+
+
+def _run_pool(
+    annotated: AnnotatedNetwork,
+    classes: Sequence[SymmetryClass] | None,
+    options: dict,
+    jobs: int,
+    items: Sequence[_T],
+    worker: Callable[[_T], _R],
+    sequential: Callable[[], list[_R]],
+) -> list[_R]:
+    """Map ``worker`` over ``items`` on a fork pool, or fall back sequentially."""
+    global _ACTIVE_NETWORK, _ACTIVE_OPTIONS, _ACTIVE_CLASSES
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = None
+
+    if context is None or jobs <= 1 or len(items) <= 1:
+        return sequential()
+
+    _ACTIVE_NETWORK = annotated
+    _ACTIVE_OPTIONS = options
+    _ACTIVE_CLASSES = classes
+    try:
+        try:
+            pool = context.Pool(processes=min(jobs, len(items)))
+        except OSError as error:
+            # Pool *setup* can fail on exotic platforms (no fork, no
+            # semaphores); degrading to sequential checking is safe there.
+            # Anything raised by the checks themselves propagates — a silent
+            # rerun would mask real worker crashes.
+            warnings.warn(
+                f"process pool unavailable ({error}); checking sequentially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return sequential()
+        with pool:
+            # chunksize=1 balances uneven work items; pool.map still returns
+            # results in submission order, keeping the output deterministic.
+            return pool.map(worker, items, chunksize=1)
+    finally:
+        _ACTIVE_NETWORK = None
+        _ACTIVE_OPTIONS = None
+        _ACTIVE_CLASSES = None
+
+
 def check_nodes_in_parallel(
     annotated: AnnotatedNetwork,
     nodes: Sequence[str],
@@ -58,8 +175,14 @@ def check_nodes_in_parallel(
     incremental: bool = True,
 ) -> list[NodeReport]:
     """Check ``nodes`` using up to ``jobs`` forked worker processes."""
-    global _ACTIVE_NETWORK, _ACTIVE_OPTIONS
     from repro.core.checker import check_node
+
+    options = {
+        "delay": delay,
+        "conditions": tuple(conditions),
+        "fail_fast": fail_fast,
+        "incremental": incremental,
+    }
 
     def sequential() -> list[NodeReport]:
         return [
@@ -74,37 +197,57 @@ def check_nodes_in_parallel(
             for node in nodes
         ]
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        context = None
+    return _run_pool(annotated, None, options, jobs, tuple(nodes), _check_one, sequential)
 
-    if context is None or jobs <= 1 or len(nodes) <= 1:
-        return sequential()
 
-    _ACTIVE_NETWORK = annotated
-    _ACTIVE_OPTIONS = {
+def check_classes_in_parallel(
+    annotated: AnnotatedNetwork,
+    classes: Sequence[SymmetryClass],
+    delay: int,
+    jobs: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    incremental: bool = True,
+) -> tuple[list[NodeReport], dict[str, int] | None]:
+    """Check symmetry ``classes`` on a fork pool, one class per work item.
+
+    Returns the flattened member reports (class order; the caller re-sorts
+    to node order) and the summed incremental-backend cache deltas of the
+    workers (``None`` with ``incremental=False``).
+    """
+    options = {
         "delay": delay,
         "conditions": tuple(conditions),
         "fail_fast": fail_fast,
         "incremental": incremental,
     }
-    try:
-        try:
-            pool = context.Pool(processes=min(jobs, len(nodes)))
-        except OSError as error:
-            # Pool *setup* can fail on exotic platforms (no fork, no
-            # semaphores); degrading to sequential checking is safe there.
-            # Anything raised by the checks themselves propagates — a silent
-            # rerun would mask real worker crashes.
-            warnings.warn(
-                f"process pool unavailable ({error}); checking sequentially",
-                RuntimeWarning,
-                stacklevel=2,
+
+    def sequential() -> list[tuple[list[NodeReport], dict[str, int]]]:
+        return [
+            _check_class_with_delta(
+                annotated,
+                symmetry_class,
+                delay=delay,
+                conditions=conditions,
+                fail_fast=fail_fast,
+                incremental=incremental,
             )
-            return sequential()
-        with pool:
-            return pool.map(_check_one, nodes)
-    finally:
-        _ACTIVE_NETWORK = None
-        _ACTIVE_OPTIONS = None
+            for symmetry_class in classes
+        ]
+
+    outcomes = _run_pool(
+        annotated,
+        classes,
+        options,
+        jobs,
+        tuple(range(len(classes))),
+        _check_one_class,
+        sequential,
+    )
+    reports = [report for class_reports, _ in outcomes for report in class_reports]
+    if not incremental:
+        return reports, None
+    totals: dict[str, int] = {}
+    for _, delta in outcomes:
+        totals = add_cache_statistics(totals, delta)
+    return reports, totals

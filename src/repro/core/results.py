@@ -25,6 +25,9 @@ class ConditionResult:
     holds: bool
     duration: float
     counterexample: Counterexample | None = None
+    #: When the symmetry-aware checker reused another node's verdict instead
+    #: of discharging this condition, the representative it came from.
+    propagated_from: str | None = None
 
     def __bool__(self) -> bool:
         return self.holds
@@ -71,10 +74,41 @@ class ModularReport:
     node_reports: dict[str, NodeReport]
     wall_time: float
     parallelism: int = 1
+    #: The symmetry mode the run used ("off" | "classes" | "spot-check").
+    symmetry: str = "off"
+    #: Number of symmetry classes the nodes were partitioned into
+    #: (``None`` when symmetry reduction was off).
+    symmetry_classes: int | None = None
+    #: Incremental-backend cache counters accumulated over the run
+    #: (bit-blast and Tseitin hits/misses, SAT scopes, learned clauses —
+    #: see ``IncrementalSolver.cache_statistics``).  ``None`` when the run
+    #: used fresh per-condition solvers or the counters were not collected
+    #: (per-node parallel workers).
+    backend_cache: dict[str, int] | None = None
 
     @property
     def passed(self) -> bool:
         return all(report.passed for report in self.node_reports.values())
+
+    @property
+    def conditions_checked(self) -> int:
+        """Total conditions with a verdict, discharged or propagated."""
+        return sum(len(report.results) for report in self.node_reports.values())
+
+    @property
+    def conditions_discharged(self) -> int:
+        """Conditions actually handed to the SMT backend."""
+        return sum(
+            1
+            for report in self.node_reports.values()
+            for result in report.results
+            if result.propagated_from is None
+        )
+
+    @property
+    def conditions_propagated(self) -> int:
+        """Conditions whose verdict was reused from a class representative."""
+        return self.conditions_checked - self.conditions_discharged
 
     @property
     def failed_nodes(self) -> list[str]:
@@ -111,12 +145,18 @@ class ModularReport:
 
     def summary(self) -> str:
         status = "PASS" if self.passed else f"FAIL ({len(self.failed_nodes)} nodes)"
-        return (
+        text = (
             f"modular check: {status}; wall {self.wall_time:.2f}s over "
             f"{len(self.node_reports)} nodes (median {self.median_node_time:.3f}s, "
             f"p99 {self.p99_node_time:.3f}s, max {self.max_node_time:.3f}s, "
             f"jobs={self.parallelism})"
         )
+        if self.symmetry != "off":
+            text += (
+                f"; symmetry={self.symmetry}: {self.symmetry_classes} classes, "
+                f"{self.conditions_discharged}/{self.conditions_checked} conditions discharged"
+            )
+        return text
 
 
 @dataclass
@@ -136,12 +176,27 @@ class MonolithicReport:
         return f"monolithic check: {status} in {self.wall_time:.2f}s"
 
 
-def merge_reports(reports: Iterable[NodeReport], wall_time: float, parallelism: int) -> ModularReport:
-    """Assemble a :class:`ModularReport` from per-node reports."""
+def merge_reports(
+    reports: Iterable[NodeReport],
+    wall_time: float,
+    parallelism: int,
+    symmetry: str = "off",
+    symmetry_classes: int | None = None,
+    backend_cache: dict[str, int] | None = None,
+) -> ModularReport:
+    """Assemble a :class:`ModularReport` from per-node reports.
+
+    The report's node order is exactly the order of ``reports`` — callers
+    pass nodes in their deterministic selection order, so report iteration,
+    ``failed_nodes`` and counterexample enumeration are reproducible.
+    """
     return ModularReport(
         node_reports={report.node: report for report in reports},
         wall_time=wall_time,
         parallelism=parallelism,
+        symmetry=symmetry,
+        symmetry_classes=symmetry_classes,
+        backend_cache=backend_cache,
     )
 
 

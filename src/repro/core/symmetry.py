@@ -1,0 +1,197 @@
+"""Symmetry reduction: verify one node per equivalence class, reuse the rest.
+
+On a ``k``-fattree the modular checker discharges ``1.25·k²`` structurally
+identical batches of verification conditions: every edge switch of a
+non-destination pod (and every aggregation switch, and every core switch)
+proves the *same* theorem up to node renaming.  This module computes node
+equivalence classes so :func:`repro.core.checker.check_modular` can discharge
+the conditions of one *representative* per class and propagate the verdict to
+the remaining members — cutting the dominant cost from O(k²) condition
+batches to O(1) per tier.
+
+Two partitioning strategies, in order of preference:
+
+* **Metadata hints.**  An :class:`~repro.core.annotations.AnnotatedNetwork`
+  may carry a ``symmetry_key`` function (attached by benchmark builders that
+  know their topology — e.g. fattree role/pod/index metadata via
+  :func:`repro.networks.fattree.fattree_symmetry_key`).  Nodes with equal
+  keys form a class without building a single condition; a ``None`` key
+  makes the node a singleton.  Hints are trusted for speed — guard them with
+  ``symmetry="spot-check"``, which re-verifies a deterministically chosen
+  extra member per class, or rely on the in-degree sanity check below.
+
+* **Canonical-form hashing.**  For arbitrary topologies (WAN, ghost-state
+  networks) each node's conditions are built with *class-canonical* naming
+  (``naming="class"`` in :mod:`repro.core.conditions`): query routes are
+  named by predecessor position, erasing node identity.  Because terms are
+  hash-consed process-wide, two nodes belong to the same class **iff** their
+  canonicalized ``(assumptions, goal)`` pairs are the identical ``Term``
+  objects — so verdict propagation is sound by construction (the members
+  discharge literally the same query).  Networks with no symmetry cleanly
+  degrade to singleton classes, i.e. per-node checking.
+
+Soundness.  Under canonical hashing, equal keys mean equal terms, so the
+representative's verdict *is* every member's verdict.  Under metadata hints,
+soundness rests on the hint being a refinement of true condition isomorphism;
+``partition_nodes`` cross-checks in-degrees (a cheap necessary condition) and
+``spot-check`` mode samples the rest.  Counterexamples found at a
+representative are translated to each member by the positional neighbour
+correspondence (``member.predecessors[i] ↔ representative.predecessors[i]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.conditions import CONDITION_KINDS, VerificationCondition, node_conditions
+from repro.core.counterexample import Counterexample
+from repro.errors import VerificationError
+
+#: The symmetry modes accepted by ``check_modular``.
+SYMMETRY_MODES = ("off", "classes", "spot-check")
+
+
+@dataclass
+class SymmetryClass:
+    """One equivalence class of nodes with isomorphic verification conditions.
+
+    ``members`` is ordered deterministically (the order the nodes were given
+    to :func:`partition_nodes`); the first member is the representative whose
+    conditions are actually discharged.  ``conditions`` caches the
+    representative's canonically-named conditions when the generic hashing
+    path already built them (``None`` under metadata hints, where conditions
+    are built lazily at check time).  ``spot_member`` names the extra member
+    re-verified in ``spot-check`` mode (chosen up front by the checker so the
+    selection is reproducible and independent of parallel scheduling).
+    """
+
+    key: Hashable
+    members: tuple[str, ...]
+    conditions: tuple[VerificationCondition, ...] | None = None
+    #: The ``delay`` the cached conditions were built with; the checker
+    #: rebuilds them when asked to check under a different delay.
+    conditions_delay: int = 0
+    spot_member: str | None = field(default=None, compare=False)
+
+    @property
+    def representative(self) -> str:
+        return self.members[0]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def partition_nodes(
+    annotated: AnnotatedNetwork,
+    nodes: Sequence[str],
+    delay: int = 0,
+    conditions: Sequence[str] = CONDITION_KINDS,
+) -> list[SymmetryClass]:
+    """Partition ``nodes`` into symmetry classes (deterministic order).
+
+    Uses the annotated network's ``symmetry_key`` hint when present,
+    otherwise the generic canonical-form hash.  Classes are returned in
+    first-member order; members keep the order of ``nodes``.
+    """
+    if annotated.symmetry_key is not None:
+        return _partition_by_hint(annotated, nodes)
+    return _partition_by_canonical_hash(annotated, nodes, delay=delay, conditions=conditions)
+
+
+def _partition_by_hint(annotated: AnnotatedNetwork, nodes: Sequence[str]) -> list[SymmetryClass]:
+    key_of = annotated.symmetry_key
+    assert key_of is not None
+    groups: dict[Hashable, list[str]] = {}
+    for node in nodes:
+        key = key_of(node)
+        if key is None:
+            # Unhinted nodes are singletons; the wrapper keeps the key unique
+            # and distinguishable from any real hint value.
+            key = ("singleton", node)
+        groups.setdefault(key, []).append(node)
+    classes = [SymmetryClass(key=key, members=tuple(members)) for key, members in groups.items()]
+    _check_in_degrees(annotated, classes)
+    return classes
+
+
+def _check_in_degrees(annotated: AnnotatedNetwork, classes: list[SymmetryClass]) -> None:
+    """Reject hint partitions that are structurally impossible.
+
+    Equal in-degree is a cheap *necessary* condition for two nodes'
+    conditions to be isomorphic (the inductive condition draws one route per
+    in-neighbour); a violation means the hint function is wrong and silent
+    verdict propagation would be unsound.
+    """
+    topology = annotated.network.topology
+    for cls in classes:
+        degrees = {topology.in_degree(member) for member in cls.members}
+        if len(degrees) > 1:
+            raise VerificationError(
+                f"symmetry hint groups nodes with different in-degrees "
+                f"{sorted(degrees)} into one class {cls.members}; "
+                "the hint function is not a valid symmetry"
+            )
+
+
+def _partition_by_canonical_hash(
+    annotated: AnnotatedNetwork,
+    nodes: Sequence[str],
+    delay: int,
+    conditions: Sequence[str],
+) -> list[SymmetryClass]:
+    requested = set(conditions)
+    groups: dict[Hashable, list[str]] = {}
+    built: dict[Hashable, tuple[VerificationCondition, ...]] = {}
+    for node in nodes:
+        node_vcs = tuple(node_conditions(annotated, node, delay=delay, naming="class"))
+        # Hash-consing makes term_id a process-stable structural fingerprint:
+        # equal keys ⟺ the canonicalized conditions are the same Term objects.
+        key = tuple(
+            (vc.kind, vc.assumptions.term.term_id, vc.goal.term.term_id)
+            for vc in node_vcs
+            if vc.kind in requested
+        )
+        if key not in groups:
+            built[key] = node_vcs
+        groups.setdefault(key, []).append(node)
+    return [
+        SymmetryClass(
+            key=key, members=tuple(members), conditions=built[key], conditions_delay=delay
+        )
+        for key, members in groups.items()
+    ]
+
+
+def translate_counterexample(
+    example: Counterexample,
+    member: str,
+    representative_predecessors: Sequence[str],
+    member_predecessors: Sequence[str],
+) -> Counterexample:
+    """Rename a representative's counterexample for a class member.
+
+    The symmetry is the positional correspondence between predecessor lists,
+    so the route sent by the representative's ``i``-th neighbour becomes the
+    route sent by the member's ``i``-th neighbour; times, the node's own
+    route and the network's symbolic values carry over unchanged.
+    """
+    if len(representative_predecessors) != len(member_predecessors):
+        raise VerificationError(
+            f"cannot translate counterexample from a node with "
+            f"{len(representative_predecessors)} predecessors to {member!r} with "
+            f"{len(member_predecessors)}; the symmetry class is invalid"
+        )
+    rename = dict(zip(representative_predecessors, member_predecessors))
+    return Counterexample(
+        node=member,
+        condition=example.condition,
+        time=example.time,
+        neighbor_routes={
+            rename.get(neighbor, neighbor): route
+            for neighbor, route in example.neighbor_routes.items()
+        },
+        route=example.route,
+        symbolics=example.symbolics,
+    )

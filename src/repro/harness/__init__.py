@@ -9,12 +9,14 @@ from repro.harness.runner import (
     sweep_wan,
 )
 from repro.harness.tables import (
+    cache_statistics_table,
     figure14_table,
     format_table,
     ghost_state_table,
     internet2_table,
     lines_of_code_table,
     scaling_table,
+    symmetry_table,
 )
 
 __all__ = [
@@ -30,4 +32,6 @@ __all__ = [
     "internet2_table",
     "ghost_state_table",
     "lines_of_code_table",
+    "symmetry_table",
+    "cache_statistics_table",
 ]

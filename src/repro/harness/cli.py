@@ -21,11 +21,13 @@ from typing import Sequence
 
 from repro.harness.runner import SweepSettings, scaling_comparison, sweep_fattree, sweep_wan
 from repro.harness.tables import (
+    cache_statistics_table,
     figure14_table,
     ghost_state_table,
     internet2_table,
     lines_of_code_table,
     scaling_table,
+    symmetry_table,
 )
 
 
@@ -62,6 +64,17 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--timeout", type=float, default=60.0, help="monolithic timeout in seconds")
     parser.add_argument("--jobs", type=int, default=1, help="parallel workers for modular checks")
     parser.add_argument("--skip-monolithic", action="store_true", help="only run the modular checks")
+    parser.add_argument(
+        "--symmetry",
+        choices=["off", "classes", "spot-check"],
+        default="off",
+        help="symmetry reduction for modular checks (default: off)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print symmetry and incremental-backend cache statistics",
+    )
 
 
 def _settings(arguments: argparse.Namespace) -> SweepSettings:
@@ -69,7 +82,17 @@ def _settings(arguments: argparse.Namespace) -> SweepSettings:
         monolithic_timeout=arguments.timeout,
         jobs=arguments.jobs,
         run_monolithic=not arguments.skip_monolithic,
+        symmetry=getattr(arguments, "symmetry", "off"),
     )
+
+
+def _print_statistics(arguments: argparse.Namespace, results) -> None:
+    if not getattr(arguments, "stats", False):
+        return
+    print()
+    print(symmetry_table(results))
+    print()
+    print(cache_statistics_table(results))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -78,6 +101,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.command == "figure1":
         results = scaling_comparison(arguments.policy, arguments.pods, settings=_settings(arguments))
         print(scaling_table(results))
+        _print_statistics(arguments, results)
     elif arguments.command == "figure14":
         results = sweep_fattree(
             arguments.policy,
@@ -86,6 +110,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             settings=_settings(arguments),
         )
         print(figure14_table(results))
+        _print_statistics(arguments, results)
     elif arguments.command == "internet2":
         results = sweep_wan(
             arguments.peers,

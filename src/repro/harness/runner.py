@@ -70,6 +70,10 @@ class ExperimentResult:
             "tp_median_s": _rounded(self.modular_median),
             "tp_p99_s": _rounded(self.modular_p99),
             "tp_pass": None if self.modular is None else self.modular.passed,
+            "tp_symmetry": None if self.modular is None else self.modular.symmetry,
+            "tp_classes": None if self.modular is None else self.modular.symmetry_classes,
+            "tp_discharged": None if self.modular is None else self.modular.conditions_discharged,
+            "tp_conditions": None if self.modular is None else self.modular.conditions_checked,
             "ms_total_s": _rounded(self.monolithic_wall_time),
             "ms_outcome": self._monolithic_outcome(),
         }
@@ -98,6 +102,8 @@ class SweepSettings:
     run_monolithic: bool = True
     #: Skip the modular run (for monolithic-only ablations).
     run_modular: bool = True
+    #: Symmetry-reduction mode for modular checks ("off" | "classes" | "spot-check").
+    symmetry: str = "off"
 
 
 def run_point(
@@ -116,7 +122,7 @@ def run_point(
         parameters=dict(parameters or {}),
     )
     if settings.run_modular:
-        result.modular = check_modular(annotated, jobs=settings.jobs)
+        result.modular = check_modular(annotated, jobs=settings.jobs, symmetry=settings.symmetry)
     if settings.run_monolithic:
         result.monolithic = check_monolithic(annotated, timeout=settings.monolithic_timeout)
     return result

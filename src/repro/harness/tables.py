@@ -125,6 +125,71 @@ def internet2_table(results: Sequence[ExperimentResult]) -> str:
     return format_table(headers, rows)
 
 
+def symmetry_table(results: Sequence[ExperimentResult]) -> str:
+    """Symmetry-reduction effectiveness: classes and discharged conditions."""
+    headers = (
+        "benchmark",
+        "nodes",
+        "symmetry",
+        "classes",
+        "discharged",
+        "propagated",
+        "Tp total [s]",
+    )
+    rows = []
+    for result in results:
+        row = result.as_row()
+        conditions = row["tp_conditions"]
+        discharged = row["tp_discharged"]
+        propagated = None if conditions is None else conditions - discharged
+        rows.append(
+            (
+                row["benchmark"],
+                row["nodes"],
+                row["tp_symmetry"],
+                row["tp_classes"],
+                discharged,
+                propagated,
+                row["tp_total_s"],
+            )
+        )
+    return format_table(headers, rows)
+
+
+#: The incremental-backend cache counters shown by :func:`cache_statistics_table`
+#: (a subset of ``IncrementalSolver.cache_statistics`` keys, in print order).
+CACHE_STATISTIC_KEYS = (
+    "bitblast_hits",
+    "bitblast_misses",
+    "tseitin_hits",
+    "tseitin_misses",
+    "guard_hits",
+    "scopes",
+    "learned_retained",
+)
+
+
+def cache_statistics_table(results: Sequence[ExperimentResult]) -> str:
+    """Incremental-backend cache statistics per experiment point.
+
+    Renders the counters :class:`~repro.core.results.ModularReport` collects
+    from the incremental backend (bit-blast and Tseitin cache hits/misses,
+    reused assertion guards, SAT scopes, learned clauses retained), so
+    ablation claims about encoding reuse are measurable straight from the
+    CLI.  Points without counters (fresh backend, per-node parallel runs)
+    render as ``-``.
+    """
+    headers = ("benchmark", "nodes") + CACHE_STATISTIC_KEYS
+    rows = []
+    for result in results:
+        cache = result.modular.backend_cache if result.modular is not None else None
+        rows.append(
+            (result.benchmark, result.nodes)
+            + tuple(None if cache is None else cache.get(key, 0) for key in CACHE_STATISTIC_KEYS)
+        )
+    return format_table(headers, rows)
+
+
 def ghost_state_table(node_count: int = 20, edge_count: int = 64) -> str:
     """Table 1: ghost state needed per property (bit counts for a sample size)."""
     headers = ("property", "added ghost state", f"bits (|V|={node_count}, |E|={edge_count})")

@@ -38,7 +38,7 @@ from repro.core import (
     until_dynamic,
 )
 from repro.errors import BenchmarkError
-from repro.networks.fattree import Fattree
+from repro.networks.fattree import Fattree, fattree_symmetry_key
 from repro.routing.algebra import Network, SymbolicVariable
 from repro.routing.bgp import (
     BgpPolicy,
@@ -207,8 +207,16 @@ def _standard_annotated(
     network: Network,
     interfaces: dict[str, TemporalPredicate],
     properties: dict[str, TemporalPredicate],
+    destination: str | None = None,
 ) -> AnnotatedNetwork:
-    return AnnotatedNetwork(network, interfaces, properties)
+    # Single-destination benchmarks carry a fattree symmetry hint: witness
+    # times (and hence interfaces) depend only on (role, same pod as the
+    # destination, is the destination), so the symmetry-aware checker can
+    # partition nodes without hashing their conditions.  All-pairs variants
+    # bake per-node destination-index constants into every interface, so no
+    # two nodes are isomorphic — they use the generic canonical-hash path.
+    symmetry_key = None if destination is None else fattree_symmetry_key(fattree, destination)
+    return AnnotatedNetwork(network, interfaces, properties, symmetry_key=symmetry_key)
 
 
 # ---------------------------------------------------------------------------
@@ -240,7 +248,9 @@ def build_reach(pods: int, all_pairs: bool = False, widths: dict[str, int] | Non
             )
             for node in fattree.nodes
         }
-        annotated = _standard_annotated(fattree, family, network, interfaces, properties)
+        annotated = _standard_annotated(
+            fattree, family, network, interfaces, properties, destination=destination
+        )
         return FattreeBenchmark("SpReach", "reach", False, fattree, family, annotated, destination)
 
     symbolic, initial, index_of = _ap_destination(fattree, family, _destination_announcement(family))
@@ -311,7 +321,9 @@ def build_length(pods: int, all_pairs: bool = False, widths: dict[str, int] | No
             )
             for node in fattree.nodes
         }
-        annotated = _standard_annotated(fattree, family, network, interfaces, properties)
+        annotated = _standard_annotated(
+            fattree, family, network, interfaces, properties, destination=destination
+        )
         return FattreeBenchmark("SpLen", "length", False, fattree, family, annotated, destination)
 
     symbolic, initial, index_of = _ap_destination(fattree, family, _destination_announcement(family))
@@ -414,7 +426,9 @@ def build_valley_freedom(
                 lambda route: route.is_none,
                 globally(stable_payload(distance, adjacent)),
             )
-        annotated = _standard_annotated(fattree, family, network, interfaces, properties)
+        annotated = _standard_annotated(
+            fattree, family, network, interfaces, properties, destination=destination
+        )
         return FattreeBenchmark("SpVf", "valley_freedom", False, fattree, family, annotated, destination)
 
     symbolic, initial, index_of = _ap_destination(fattree, family, _destination_announcement(family))
@@ -573,7 +587,9 @@ def build_hijack(pods: int, all_pairs: bool = False, widths: dict[str, int] | No
                 globally(no_hijack)
             )
         interfaces[HIJACKER] = always_true()
-        annotated = AnnotatedNetwork(network, interfaces, properties)
+        annotated = _standard_annotated(
+            fattree, family, network, interfaces, properties, destination=destination
+        )
         return FattreeBenchmark("SpHijack", "hijack", False, fattree, family, annotated, destination)
 
     symbolic, ap_initial, index_of = _ap_destination(fattree, family, announcement())

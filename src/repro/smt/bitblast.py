@@ -51,6 +51,10 @@ class BitBlaster:
         self.bitvector_variables: dict[str, int] = {}
         self._bool_cache: dict[int, Term] = {}
         self._bits_cache: dict[int, list[Term]] = {}
+        #: Cache counters (across both the boolean and the per-bit caches),
+        #: surfaced by the incremental backend's ``cache_statistics``.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -65,7 +69,9 @@ class BitBlaster:
     def _blast_bool(self, term: Term) -> Term:
         cached = self._bool_cache.get(term.term_id)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         result = self._blast_bool_uncached(term)
         self._bool_cache[term.term_id] = result
         return result
@@ -126,7 +132,9 @@ class BitBlaster:
     def _blast_bits(self, term: Term) -> list[Term]:
         cached = self._bits_cache.get(term.term_id)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         result = self._blast_bits_uncached(term)
         self._bits_cache[term.term_id] = result
         return result

@@ -43,6 +43,21 @@ constrains the fresh variable ``a``, so its presence never changes the
 satisfiability of queries that do not assume ``a``; learned clauses
 mentioning ``¬a`` are entailed by the database and simply become inert once
 ``a`` is no longer assumed.
+
+**Class-canonical naming contract.**  The symmetry-aware checker
+(:mod:`repro.core.symmetry`) builds verification conditions with
+``naming="class"`` (:mod:`repro.core.conditions`): query routes are named by
+predecessor *position*, so every member of a symmetry class produces the
+*identical* hash-consed terms.  For this backend that means one SAT scope
+serves the whole class — the representative's check encodes and ships the
+clause cone once, and any further member query (the ``spot-check`` mode)
+re-assumes the same activation literals against the same scope, reusing its
+clause database *and* its learned clauses outright.  The clause-cone
+filtering in :meth:`IncrementalSolver._ship` is what keeps this sharing
+safe: a scope only ever receives the clauses its active assertions need,
+however many other classes the process has encoded.  ``cache_statistics``
+exposes counters (bit-blast and Tseitin cache hits, guard reuse, scopes,
+learned-clause retention) so the sharing is measurable from reports.
 """
 
 from __future__ import annotations
@@ -100,6 +115,15 @@ class IncrementalSolver:
         self._guards: dict[int, tuple[int, tuple[tuple[int, int], ...]] | str] = {}
         #: How often the retained encoding state was rebuilt (observability).
         self.compactions = 0
+        #: Guard-table counters: a hit means an assertion's encoded clause
+        #: cone (and activation literal) was reused from an earlier query.
+        self.guard_hits = 0
+        self.guard_misses = 0
+        #: SAT scopes started over this solver's lifetime (first scope included).
+        self.scopes = 1
+        # Learned-clause counters accumulated from rotated-out SAT instances.
+        self._retired_learned = 0
+        self._retired_deleted = 0
         self._sat = CdclSolver()
         self._shipped: set[int] = set()
         self._var_map: dict[int, int] = {}
@@ -143,16 +167,66 @@ class IncrementalSolver:
         clauses its active assertions need.  Learned clauses and the
         SAT-level clause database of the previous scope are dropped.
         """
+        self._retired_learned += self._sat.statistics["learned"]
+        self._retired_deleted += self._sat.statistics["deleted"]
         self._sat = CdclSolver()
         self._shipped = set()
         self._var_map = {}
+        self.scopes += 1
+
+    def recover(self) -> None:
+        """Restore a known-good state after an exception escaped a check.
+
+        A crash part-way through ``check`` (a solve interrupted mid-search, a
+        caller error between ``push`` and ``pop``) can leave the current SAT
+        instance's trail and the assertion frames inconsistent; reusing them
+        could poison every later query on this shared solver.  Recovery drops
+        all frames above the root (root assertions are kept — they belong to
+        the solver's owner, not the crashed query) and rotates in a fresh SAT
+        scope.  The encoding caches are untouched: they are append-only maps
+        keyed by hash-consed terms and cannot be corrupted by an interrupted
+        query, so recovery costs one cheap clause re-ship, not a re-encode.
+        """
+        del self._frames[1:]
+        self.new_scope()
+
+    def cache_statistics(self) -> dict[str, int]:
+        """Cumulative cache/reuse counters for this solver (plain ints).
+
+        Includes the process-wide bit-blast cache (shared by every
+        incremental solver in the process), this solver's Tseitin encoder and
+        guard table, and learned-clause totals summed over all SAT scopes it
+        has rotated through.  ``learned_retained`` counts clauses the CDCL
+        cores kept (learned minus deleted) — the quantity the symmetry
+        ablation reports as "learned clauses retained".
+        """
+        learned = self._retired_learned + self._sat.statistics["learned"]
+        deleted = self._retired_deleted + self._sat.statistics["deleted"]
+        return {
+            "bitblast_hits": _PROCESS_BLASTER.cache_hits,
+            "bitblast_misses": _PROCESS_BLASTER.cache_misses,
+            "tseitin_hits": self._encoder.cache_hits,
+            "tseitin_misses": self._encoder.cache_misses,
+            "guard_hits": self.guard_hits,
+            "guard_misses": self.guard_misses,
+            "scopes": self.scopes,
+            "clauses_learned": learned,
+            "clauses_deleted": deleted,
+            "learned_retained": learned - deleted,
+            "compactions": self.compactions,
+        }
 
     def _maybe_compact(self) -> None:
         """Rebuild the retained encoding once it outgrows ``max_variables``."""
         if self._cnf.num_vars <= self.max_variables:
             return
         self._cnf = Cnf()
+        retired = self._encoder
         self._encoder = TseitinEncoder(self._cnf)
+        # Counters are cumulative over the solver's lifetime; carry them
+        # across the rebuild so statistics do not reset on compaction.
+        self._encoder.cache_hits = retired.cache_hits
+        self._encoder.cache_misses = retired.cache_misses
         self._guards = {}
         self.compactions += 1
         self.new_scope()
@@ -221,7 +295,9 @@ class IncrementalSolver:
         """The guard and clause cone of ``term``, encoding it on first use."""
         entry = self._guards.get(term.term_id)
         if entry is not None:
+            self.guard_hits += 1
             return entry
+        self.guard_misses += 1
         blasted = _PROCESS_BLASTER.blast(term)
         if blasted.is_true():
             entry = _ALWAYS_SAT
@@ -337,3 +413,28 @@ def reset_process_solver() -> None:
     """Drop the shared solver (tests and benchmarks use this for isolation)."""
     global _PROCESS_SOLVER
     _PROCESS_SOLVER = None
+
+
+def process_cache_statistics() -> dict[str, int]:
+    """Cache statistics of the shared per-process solver.
+
+    Materialises the solver if it does not exist yet: the process-wide
+    bit-blast counters (and, after a ``fork``, counters inherited from the
+    parent) are nonzero even before the first check, so a snapshot taken as
+    a *baseline* must read them rather than default to zero — otherwise the
+    first delta would claim the whole process history as its own work.
+    """
+    return process_solver().cache_statistics()
+
+
+def subtract_cache_statistics(after: dict[str, int], before: dict[str, int]) -> dict[str, int]:
+    """Component-wise ``after - before`` over cache-statistics dicts."""
+    return {key: value - before.get(key, 0) for key, value in after.items()}
+
+
+def add_cache_statistics(left: dict[str, int], right: dict[str, int]) -> dict[str, int]:
+    """Component-wise sum (used to merge per-worker statistics deltas)."""
+    merged = dict(left)
+    for key, value in right.items():
+        merged[key] = merged.get(key, 0) + value
+    return merged

@@ -40,6 +40,10 @@ class TseitinEncoder:
         self._literal_cache: dict[int, int] = {}
         self._clause_spans: dict[int, tuple[int, int]] = {}
         self._true_literal: int | None = None
+        #: Memoisation counters, surfaced by the incremental backend's
+        #: ``cache_statistics`` (a hit means a subterm's CNF was reused).
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -54,7 +58,9 @@ class TseitinEncoder:
             raise TermError(f"Tseitin encoding expects boolean terms, got {term.sort!r}")
         cached = self._literal_cache.get(term.term_id)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         start = self.cnf.num_clauses
         literal = self._encode(term)
         self._literal_cache[term.term_id] = literal

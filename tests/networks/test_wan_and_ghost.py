@@ -101,3 +101,49 @@ class TestGhostState:
     def test_no_transit_verifies(self):
         report = core.check_modular(no_transit_network())
         assert report.passed, report.counterexamples()[:1]
+
+
+class TestSymmetryFallback:
+    """WAN and ghost networks carry no symmetry hints: ``symmetry="classes"``
+    must take the generic canonical-hash path (or degrade to singleton
+    classes, i.e. per-node checking) with verdicts identical to ``off``."""
+
+    def _agree_across_modes(self, annotated):
+        from repro.smt.incremental import reset_process_solver
+
+        assert annotated.symmetry_key is None
+        baseline = None
+        for mode in ("off", "classes", "spot-check"):
+            reset_process_solver()
+            report = core.check_modular(annotated, symmetry=mode)
+            verdicts = core.condition_verdicts(report)
+            if baseline is None:
+                baseline = verdicts
+            assert verdicts == baseline, mode
+        reset_process_solver()
+        return report
+
+    def test_wan_generic_path_matches_off(self):
+        report = self._agree_across_modes(build_wan_benchmark(SMALL).annotated)
+        # structurally identical external peers collapse into shared classes
+        assert report.symmetry_classes < len(report.node_reports)
+
+    def test_buggy_wan_counterexamples_survive_symmetry(self):
+        from repro.smt.incremental import reset_process_solver
+
+        buggy = WanParameters(internal_routers=4, external_peers=4, buggy=True)
+        annotated = build_wan_benchmark(buggy).annotated
+        off = core.check_modular(annotated, symmetry="off")
+        reset_process_solver()
+        classes = core.check_modular(annotated, symmetry="classes")
+        assert not off.passed
+        assert off.failed_nodes == classes.failed_nodes
+        assert core.condition_verdicts(off) == core.condition_verdicts(classes)
+
+    def test_ghost_networks_generic_path_matches_off(self):
+        for annotated in (
+            reachability_from_destination(),
+            unordered_waypoint_network(),
+            no_transit_network(),
+        ):
+            self._agree_across_modes(annotated)
