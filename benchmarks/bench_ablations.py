@@ -30,7 +30,9 @@ import pytest
 from repro import core, smt
 from repro.smt.incremental import reset_process_solver
 from repro.core.conditions import inductive_condition
-from repro.networks.benchmarks import COMPACT_WIDTHS, build_benchmark
+from repro.networks import registry
+from repro.networks.benchmarks import COMPACT_WIDTHS
+from repro.verify import Modular, verify
 from repro.routing import path_topology, shortest_path_network
 from repro.smt.bitblast import BitBlaster
 from repro.smt.cnf import Cnf
@@ -71,8 +73,8 @@ def test_benchmark_inductive_condition_with_delay(benchmark, delay):
 )
 def test_benchmark_bitwidth_sensitivity(benchmark, label, widths):
     """Per-node check cost as the route-field widths grow (SpReach, k=4)."""
-    instance = build_benchmark("reach", 4, widths=widths)
-    report = benchmark(lambda: core.check_modular(instance.annotated))
+    instance = registry.build("fattree/reach", pods=4, widths=widths)
+    report = benchmark(lambda: verify(instance.annotated))
     assert report.passed
 
 
@@ -129,13 +131,19 @@ def test_benchmark_incremental_vs_fresh_backend():
     for mode, incremental in (("fresh", False), ("incremental", True)):
         reset_process_solver()
         before = smt.GLOBAL_STATISTICS.snapshot()
-        instances = {family: build_benchmark(family, ABLATION_PODS) for family in ABLATION_FAMILIES}
+        instances = {
+            family: registry.build(f"fattree/{family}", pods=ABLATION_PODS)
+            for family in ABLATION_FAMILIES
+        }
         family_times = {family: [] for family in ABLATION_FAMILIES}
         mode_verdicts = {}
         for _ in range(ABLATION_ROUNDS):
             for family, instance in instances.items():
                 started = time.perf_counter()
-                report = core.check_modular(instance.annotated, incremental=incremental)
+                report = verify(
+                    instance.annotated,
+                    Modular(backend="incremental" if incremental else "fresh"),
+                )
                 family_times[family].append(time.perf_counter() - started)
                 mode_verdicts[family] = core.condition_verdicts(report)
         rows[mode] = smt.GLOBAL_STATISTICS.since(before)
@@ -184,12 +192,12 @@ def test_benchmark_symmetry_modes():
     class almost for free, because the member's canonically-named conditions
     are the *identical terms* already encoded in the class's SAT scope.
     """
-    instance = build_benchmark("reach", SYMMETRY_PODS)
+    instance = registry.build("fattree/reach", pods=SYMMETRY_PODS)
     rows = {}
     for mode in SYMMETRY_MODES:
         reset_process_solver()
         started = time.perf_counter()
-        report = core.check_modular(instance.annotated, symmetry=mode)
+        report = verify(instance.annotated, Modular(symmetry=mode))
         elapsed = time.perf_counter() - started
         rows[mode] = {
             "report": report,

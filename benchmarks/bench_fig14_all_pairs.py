@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import check_modular
-from repro.harness import SweepSettings, figure14_table, sweep_fattree
-from repro.networks import build_benchmark
+from repro.harness import figure14_table, sweep_fattree
+from repro.networks import registry
+from repro.verify import Modular, Monolithic, verify
 
 PANELS = [
     ("e", "reach", "ApReach"),
@@ -25,9 +25,10 @@ PANELS = [
 
 @pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
 def test_figure14_all_pairs_panel(benchmark, panel, policy, name, bench_pods, bench_timeout, bench_jobs, capsys):
-    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    modular = Modular(parallel=bench_jobs)
+    monolithic = Monolithic(timeout=bench_timeout)
     results = benchmark.pedantic(
-        lambda: sweep_fattree(policy, bench_pods, all_pairs=True, settings=settings),
+        lambda: sweep_fattree(policy, bench_pods, all_pairs=True, modular=modular, monolithic=monolithic),
         rounds=1,
         iterations=1,
     )
@@ -41,6 +42,6 @@ def test_figure14_all_pairs_panel(benchmark, panel, policy, name, bench_pods, be
 
 @pytest.mark.parametrize("panel,policy,name", PANELS, ids=[p[2] for p in PANELS])
 def test_benchmark_modular_check(benchmark, panel, policy, name, bench_pods):
-    instance = build_benchmark(policy, bench_pods[0], all_pairs=True)
-    report = benchmark(lambda: check_modular(instance.annotated))
+    instance = registry.build(f"fattree/{policy}", pods=bench_pods[0], all_pairs=True)
+    report = benchmark(lambda: verify(instance.annotated))
     assert report.passed

@@ -10,23 +10,24 @@ separately for the smallest sweep point.
 
 from __future__ import annotations
 
-from repro.core import check_modular, check_monolithic, condition_verdicts
+from repro.core import condition_verdicts
 from repro.harness import (
-    SweepSettings,
     cache_statistics_table,
     scaling_comparison,
     scaling_table,
     symmetry_table,
 )
-from repro.networks import build_benchmark
+from repro.networks import registry
 from repro.smt.incremental import reset_process_solver
+from repro.verify import Modular, Monolithic, verify
 
 
 def test_figure1_series(benchmark, bench_pods, bench_timeout, bench_jobs, capsys):
     """Regenerate the Figure 1 data series (printed as a table)."""
-    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    modular = Modular(parallel=bench_jobs)
+    monolithic = Monolithic(timeout=bench_timeout)
     results = benchmark.pedantic(
-        lambda: scaling_comparison("reach", bench_pods, settings=settings),
+        lambda: scaling_comparison("reach", bench_pods, modular=modular, monolithic=monolithic),
         rounds=1,
         iterations=1,
     )
@@ -50,9 +51,9 @@ def test_figure1_symmetry_scaling(bench_pods, bench_jobs, capsys):
     """
     points = {"off": [], "classes": []}
     for mode in points:
-        settings = SweepSettings(jobs=bench_jobs, run_monolithic=False, symmetry=mode)
+        modular = Modular(symmetry=mode, parallel=bench_jobs)
         reset_process_solver()
-        points[mode] = scaling_comparison("reach", bench_pods, settings=settings)
+        points[mode] = scaling_comparison("reach", bench_pods, modular=modular, monolithic=None)
         reset_process_solver()
 
     with capsys.disabled():
@@ -77,12 +78,12 @@ def test_figure1_symmetry_scaling(bench_pods, bench_jobs, capsys):
 
 
 def test_benchmark_modular_smallest_point(benchmark, bench_pods):
-    instance = build_benchmark("reach", bench_pods[0])
-    report = benchmark(lambda: check_modular(instance.annotated))
+    instance = registry.build("fattree/reach", pods=bench_pods[0])
+    report = benchmark(lambda: verify(instance.annotated))
     assert report.passed
 
 
 def test_benchmark_monolithic_smallest_point(benchmark, bench_pods, bench_timeout):
-    instance = build_benchmark("reach", bench_pods[0])
-    report = benchmark(lambda: check_monolithic(instance.annotated, timeout=bench_timeout))
+    instance = registry.build("fattree/reach", pods=bench_pods[0])
+    report = benchmark(lambda: verify(instance.annotated, Monolithic(timeout=bench_timeout)))
     assert report.passed or report.timed_out

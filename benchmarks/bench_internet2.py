@@ -10,15 +10,16 @@ synthetic configuration at configurable peer counts and prints the table.
 from __future__ import annotations
 
 from repro.config import WanParameters
-from repro.core import check_modular, check_monolithic
-from repro.harness import SweepSettings, internet2_table, sweep_wan
+from repro.harness import internet2_table, sweep_wan
 from repro.networks import build_wan_benchmark
+from repro.verify import Modular, Monolithic, verify
 
 
 def test_internet2_series(benchmark, bench_peers, bench_timeout, bench_jobs, capsys):
-    settings = SweepSettings(monolithic_timeout=bench_timeout, jobs=bench_jobs)
+    modular = Modular(parallel=bench_jobs)
+    monolithic = Monolithic(timeout=bench_timeout)
     results = benchmark.pedantic(
-        lambda: sweep_wan(bench_peers, internal_routers=10, settings=settings),
+        lambda: sweep_wan(bench_peers, internal_routers=10, modular=modular, monolithic=monolithic),
         rounds=1,
         iterations=1,
     )
@@ -35,7 +36,7 @@ def test_benchmark_modular_block_to_external(benchmark, bench_peers):
     instance = build_wan_benchmark(
         WanParameters(internal_routers=10, external_peers=bench_peers[0])
     )
-    report = benchmark(lambda: check_modular(instance.annotated))
+    report = benchmark(lambda: verify(instance.annotated))
     assert report.passed
 
 
@@ -43,5 +44,5 @@ def test_benchmark_monolithic_block_to_external(benchmark, bench_peers, bench_ti
     instance = build_wan_benchmark(
         WanParameters(internal_routers=10, external_peers=min(bench_peers[0], 12))
     )
-    report = benchmark(lambda: check_monolithic(instance.annotated, timeout=bench_timeout))
+    report = benchmark(lambda: verify(instance.annotated, Monolithic(timeout=bench_timeout)))
     assert report.passed or report.timed_out

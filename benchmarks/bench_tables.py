@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.config import WanParameters
 from repro.harness import ghost_state_table, lines_of_code_table
-from repro.networks import build_benchmark, build_wan_benchmark
+from repro.networks import build_wan_benchmark, registry
 
 
 def test_table1_ghost_state(benchmark, capsys):
@@ -40,7 +40,7 @@ def test_table2_lines_of_code(benchmark, capsys):
 
 
 def test_benchmark_fattree_construction(benchmark, bench_pods):
-    instance = benchmark(lambda: build_benchmark("hijack", bench_pods[0]))
+    instance = benchmark(lambda: registry.build("fattree/hijack", pods=bench_pods[0]))
     assert instance.annotated.nodes
 
 

@@ -22,7 +22,9 @@ import time
 from typing import Sequence
 
 from repro import core
-from repro.networks.benchmarks import POLICIES, build_benchmark
+from repro.networks import registry
+from repro.networks.benchmarks import POLICIES
+from repro.verify import Modular, verify
 from repro.smt.incremental import reset_process_solver
 
 MODES = ("off", "spot-check")
@@ -33,13 +35,13 @@ def run_smoke(pods: int) -> tuple[bool, dict]:
     payload: dict = {"pods": pods, "modes": list(MODES), "families": {}}
     ok = True
     for policy in POLICIES:
-        instance = build_benchmark(policy, pods)
+        instance = registry.build(f"fattree/{policy}", pods=pods)
         rows = {}
         verdicts = {}
         for mode in MODES:
             reset_process_solver()
             started = time.perf_counter()
-            report = core.check_modular(instance.annotated, symmetry=mode)
+            report = verify(instance.annotated, Modular(symmetry=mode))
             elapsed = time.perf_counter() - started
             reset_process_solver()
             verdicts[mode] = core.condition_verdicts(report)

@@ -21,9 +21,9 @@ Run with::
 from __future__ import annotations
 
 from repro import core
-from repro.core import check_strawperson
 from repro.routing import build_running_example, simulate
 from repro.symbolic import SymBool
+from repro.verify import Strawperson, verify
 
 
 def main() -> None:
@@ -41,7 +41,7 @@ def main() -> None:
         "d": spurious,
         "e": no_route,
     }
-    strawperson = check_strawperson(network, stable_interfaces)
+    strawperson = verify(network, Strawperson(interfaces=stable_interfaces))
     print(f"  strawperson verdict: every node passes = {strawperson.passed}")
     assert strawperson.passed, "the unsound procedure should accept the circular interfaces"
 
@@ -61,7 +61,7 @@ def main() -> None:
         "d": core.globally(spurious),
         "e": core.globally(no_route),
     }
-    report = core.check_modular(core.annotate(network, temporal))
+    report = verify(core.annotate(network, temporal))
     assert not report.passed
     print(f"  rejected at nodes {sorted(report.failed_nodes)}")
     print("  " + report.counterexamples()[0].describe().replace("\n", "\n  "))
@@ -70,7 +70,7 @@ def main() -> None:
     patched = dict(temporal)
     patched["v"] = core.globally(lambda r: spurious(r) | r.is_none)
     patched["d"] = core.globally(lambda r: spurious(r) | r.is_none)
-    patched_report = core.check_modular(core.annotate(network, patched))
+    patched_report = verify(core.annotate(network, patched))
     assert not patched_report.passed
     failure = patched_report.counterexamples()[0]
     print(f"  still rejected at node {failure.node!r} (condition: {failure.condition}, "

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import check_modular, check_monolithic
-from repro.networks import build_benchmark, fattree_size
+from repro.networks import fattree_size, registry
+from repro.verify import Modular, Monolithic, Session
 
 
 def main() -> None:
@@ -31,16 +31,17 @@ def main() -> None:
 
     print(f"fattree k={arguments.pods}: {fattree_size(arguments.pods)} switches")
     for policy in ("reach", "length"):
-        benchmark = build_benchmark(policy, arguments.pods)
-        print(f"\n--- {benchmark.name} (destination {benchmark.destination}) ---")
-        report = check_modular(benchmark.annotated, jobs=arguments.jobs)
+        benchmark = registry.build(f"fattree/{policy}", pods=arguments.pods)
+        print(f"\n--- {benchmark.name} (destination {benchmark.raw.destination}) ---")
+        with Session(benchmark.annotated, Modular(parallel=arguments.jobs)) as session:
+            report = session.run()
         print("modular:    ", report.summary())
         if not report.passed:
             for counterexample in report.counterexamples()[:3]:
                 print(counterexample.describe())
         if not arguments.skip_monolithic:
-            monolithic = check_monolithic(benchmark.annotated, timeout=arguments.timeout)
-            print("monolithic: ", monolithic.summary())
+            with Session(benchmark.annotated, Monolithic(timeout=arguments.timeout)) as session:
+                print("monolithic: ", session.run().summary())
 
 
 if __name__ == "__main__":

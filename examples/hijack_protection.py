@@ -20,9 +20,10 @@ from __future__ import annotations
 import argparse
 from typing import Any
 
-from repro.core import AnnotatedNetwork, check_modular
-from repro.networks import build_benchmark
+from repro.core import AnnotatedNetwork
+from repro.networks import registry
 from repro.networks.benchmarks import HIJACKER
+from repro.verify import Modular, verify
 from repro.routing.algebra import Network
 from repro.routing.bgp import BgpPolicy
 
@@ -60,15 +61,16 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=1)
     arguments = parser.parse_args()
 
-    benchmark = build_benchmark("hijack", arguments.pods)
+    built = registry.build("fattree/hijack", pods=arguments.pods)
+    benchmark = built.raw
     print(f"--- {benchmark.name}, k={arguments.pods}, destination {benchmark.destination} ---")
-    report = check_modular(benchmark.annotated, jobs=arguments.jobs)
+    report = verify(benchmark.annotated, Modular(parallel=arguments.jobs))
     print("with the core filter in place: ", report.summary())
     assert report.passed
 
     print("\nNow removing the core switches' hijack filter ...")
     broken = break_core_filter(benchmark)
-    broken_report = check_modular(broken, jobs=arguments.jobs)
+    broken_report = verify(broken, Modular(parallel=arguments.jobs))
     print("without the filter:            ", broken_report.summary())
     assert not broken_report.passed
     print("\nFirst counterexample (the hijacker's announcement wins at a core switch):\n")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro import core
 from repro.routing import build_running_example, simulate
+from repro.verify import verify
 
 
 def render_route(route: dict | None) -> str:
@@ -58,7 +59,7 @@ def step_2_verify_tagging() -> None:
     properties["e"] = core.globally(tagged_or_none)
 
     annotated = core.annotate(example.network, interfaces, properties)
-    report = core.check_modular(annotated)
+    report = verify(annotated)
     print(report.summary())
     assert report.passed, "the Figure 7 interfaces should verify"
     print()
@@ -83,7 +84,7 @@ def step_3_verify_reachability() -> None:
     properties["e"] = core.finally_(3, core.globally(lambda r: r.is_some))
 
     annotated = core.annotate(example.network, interfaces, properties)
-    report = core.check_modular(annotated)
+    report = verify(annotated)
     print(report.summary())
     assert report.passed, "the Figure 8 interfaces should verify"
     print()
@@ -104,7 +105,7 @@ def step_4_reject_bad_interfaces() -> None:
         "e": core.globally(lambda r: r.is_none),
     }
     annotated = core.annotate(example.network, interfaces)
-    report = core.check_modular(annotated)
+    report = verify(annotated)
     assert not report.passed, "the Figure 9 interfaces must be rejected"
     print(f"rejected at nodes {sorted(report.failed_nodes)}; first counterexample:\n")
     print(report.counterexamples()[0].describe())

@@ -21,8 +21,8 @@ from __future__ import annotations
 import argparse
 
 from repro.config import WanParameters, generate_wan_config
-from repro.core import check_modular
 from repro.networks import build_wan_benchmark
+from repro.verify import Modular, verify
 
 
 def main() -> None:
@@ -44,7 +44,7 @@ def main() -> None:
     if arguments.show_config:
         print(generate_wan_config(parameters))
 
-    report = check_modular(benchmark.annotated, jobs=arguments.jobs)
+    report = verify(benchmark.annotated, Modular(parallel=arguments.jobs))
     print("BlockToExternal:", report.summary())
     assert report.passed
 
@@ -56,7 +56,7 @@ def main() -> None:
             buggy=True,
         )
     )
-    buggy_report = check_modular(buggy.annotated, jobs=arguments.jobs)
+    buggy_report = verify(buggy.annotated, Modular(parallel=arguments.jobs))
     print("BlockToExternal (buggy config):", buggy_report.summary())
     assert not buggy_report.passed
     print("\nCounterexample (a BTE-tagged route leaks to an external peer):\n")

@@ -10,18 +10,23 @@ subpackages are:
 * :mod:`repro.routing` — routing algebras, topologies and the synchronous
   simulator ``σ``;
 * :mod:`repro.core` — the paper's contribution: temporal interfaces, the
-  three verification conditions, the modular checker, the monolithic
-  baseline and the (deliberately unsound) strawperson procedure;
+  three verification conditions, the modular checking primitives, the
+  monolithic baseline and the (deliberately unsound) strawperson procedure;
+* :mod:`repro.verify` — the unified verification API: strategy objects,
+  the solver-owning :class:`~repro.verify.Session`, streaming condition
+  events and the common report protocol;
 * :mod:`repro.config` — a Junos-inspired policy DSL and synthetic
   Internet2-style WAN generator;
 * :mod:`repro.networks` — the evaluation's benchmark networks (fattrees,
-  WAN, ghost-state constructions); and
+  WAN, ghost-state constructions), buildable by name through
+  :mod:`repro.networks.registry`; and
 * :mod:`repro.harness` — experiment sweeps and table/figure printers.
 
 Quick start::
 
     from repro.routing import build_running_example
     from repro import core
+    from repro.verify import Modular, verify
 
     example = build_running_example("symbolic")
     annotated = core.annotate(
@@ -29,10 +34,20 @@ Quick start::
         interfaces={...},   # per-node temporal predicates
         properties={...},
     )
-    report = core.check_modular(annotated)
+    report = verify(annotated, Modular())
     assert report.passed
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["smt", "symbolic", "routing", "core", "config", "networks", "harness", "errors"]
+__all__ = [
+    "smt",
+    "symbolic",
+    "routing",
+    "core",
+    "verify",
+    "config",
+    "networks",
+    "harness",
+    "errors",
+]

@@ -2,9 +2,21 @@
 
 This package is the paper's primary contribution.  Users annotate a
 :class:`~repro.routing.algebra.Network` with per-node temporal interfaces and
-properties (:func:`annotate`), then discharge the initial/inductive/safety
-verification conditions per node (:func:`check_modular`) or compare against
-the Minesweeper-style monolithic baseline (:func:`check_monolithic`).
+properties (:func:`annotate`), then verify it through the unified API in
+:mod:`repro.verify`::
+
+    from repro.verify import Modular, Monolithic, verify
+
+    report = verify(annotated, Modular(symmetry="classes"))
+    baseline = verify(annotated, Monolithic(timeout=60))
+
+This package holds the engine primitives those strategies drive: the three
+verification conditions, the per-node/per-class checking functions
+(:func:`check_node`, :func:`check_class`), the symmetry partitioner, the
+monolithic and strawperson engines and the report types.  The legacy
+one-shot entry points (:func:`check_modular`, :func:`check_monolithic`,
+:func:`check_strawperson`) remain as deprecated shims with identical
+verdicts.
 """
 
 from repro.core.annotations import AnnotatedNetwork, annotate
@@ -23,7 +35,12 @@ from repro.core.conditions import (
 )
 from repro.core.symmetry import SYMMETRY_MODES, SymmetryClass, partition_nodes
 from repro.core.counterexample import Counterexample
-from repro.core.monolithic import check_monolithic, erased_property, stable_state_constraints
+from repro.core.monolithic import (
+    check_monolithic,
+    erased_property,
+    run_monolithic,
+    stable_state_constraints,
+)
 from repro.core.results import (
     ConditionResult,
     ModularReport,
@@ -32,7 +49,12 @@ from repro.core.results import (
     condition_verdicts,
     percentile,
 )
-from repro.core.strawperson import StrawpersonReport, check_strawperson
+from repro.core.strawperson import (
+    StrawpersonReport,
+    check_strawperson,
+    erased_interfaces,
+    run_strawperson,
+)
 from repro.core.temporal import (
     StatePredicate,
     TemporalPredicate,
@@ -82,9 +104,12 @@ __all__ = [
     "check_modular",
     "assert_verified",
     "check_monolithic",
+    "run_monolithic",
     "stable_state_constraints",
     "erased_property",
     "check_strawperson",
+    "run_strawperson",
+    "erased_interfaces",
     # results
     "ConditionResult",
     "NodeReport",

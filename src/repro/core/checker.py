@@ -1,4 +1,9 @@
-"""The modular checking procedure (Algorithm 1: ``CheckMod``).
+"""The modular checking primitives (Algorithm 1: ``CheckMod``).
+
+Orchestration (node/class scheduling, symmetry partitioning, parallel
+dispatch, report assembly) lives in :mod:`repro.verify.session`; this module
+provides the per-batch primitives :func:`check_node` and :func:`check_class`
+it builds on, plus the deprecated :func:`check_modular` shim.
 
 For every node of an annotated network, encode and discharge the initial,
 inductive and safety conditions.  Node checks are completely independent —
@@ -30,20 +35,16 @@ modes; only the number of discharged conditions (and the wall time) differs.
 
 from __future__ import annotations
 
-import random
 import time as _time
+import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.core.annotations import AnnotatedNetwork
 from repro.core.conditions import CONDITION_KINDS, VerificationCondition, node_conditions
-from repro.core.results import ConditionResult, ModularReport, NodeReport, merge_reports
-from repro.core.symmetry import SYMMETRY_MODES, SymmetryClass, partition_nodes, translate_counterexample
+from repro.core.results import ConditionResult, ModularReport, NodeReport
+from repro.core.symmetry import SymmetryClass, translate_counterexample
 from repro.errors import VerificationError
-from repro.smt.incremental import (
-    process_cache_statistics,
-    process_solver,
-    subtract_cache_statistics,
-)
+from repro.smt.incremental import process_solver
 
 
 def _discharge(
@@ -272,118 +273,38 @@ def check_modular(
     symmetry: str = "off",
     spot_check_seed: int = 0,
 ) -> ModularReport:
-    """Run the modular checking procedure over ``nodes`` (default: all nodes).
+    """Deprecated shim over :class:`repro.verify.Session`.
 
-    ``jobs > 1`` distributes checks over a process pool; the verdicts are
-    identical either way, only the wall-clock time changes.  Each worker
-    process reuses its own incremental solver across the batches it checks
-    (disable with ``incremental=False``).
-
-    ``symmetry`` selects the reduction mode: ``"off"`` checks every node,
-    ``"classes"`` discharges one representative per equivalence class and
-    propagates verdicts, ``"spot-check"`` additionally re-verifies one
-    deterministically chosen member per class (seeded by
-    ``spot_check_seed``) as a guard against wrong symmetry hints.  With
-    symmetry on, parallel work is partitioned by class rather than by node,
-    so each worker's encoding caches stay hot on one structural shape at a
-    time.
-
-    Report ordering is deterministic: node reports appear in the order of
-    ``nodes`` (or ``annotated.nodes``) regardless of symmetry mode, job
-    count or scheduling, so counterexample selection is reproducible.
+    Use ``verify(annotated, Modular(...))`` instead — the kwargs map onto
+    :class:`repro.verify.Modular` fields one-for-one (``jobs`` →
+    ``parallel``, ``incremental=False`` → ``backend="fresh"``) and the
+    verdicts are identical: the session's modular engine *is* this
+    procedure (see :func:`repro.verify.session.modular_events` for the
+    scheduling, symmetry and report-ordering contract).
     """
-    if symmetry not in SYMMETRY_MODES:
-        raise VerificationError(f"unknown symmetry mode {symmetry!r}; choose one of {SYMMETRY_MODES}")
-    selected = tuple(nodes) if nodes is not None else annotated.nodes
-    for node in selected:
-        if node not in annotated.nodes:
-            raise VerificationError(f"unknown node {node!r}")
-
-    started = _time.perf_counter()
-    class_count: int | None = None
-    cache_before: dict[str, int] | None = None
-    cache_delta: dict[str, int] | None = None
-
-    if symmetry == "off":
-        if jobs > 1:
-            # Worker-process cache counters are not observable from here, so
-            # no snapshot is taken (the report carries backend_cache=None).
-            from repro.core.parallel import check_nodes_in_parallel
-
-            reports = check_nodes_in_parallel(
-                annotated,
-                selected,
-                delay=delay,
-                jobs=jobs,
-                conditions=conditions,
-                fail_fast=fail_fast,
-                incremental=incremental,
-            )
-        else:
-            if incremental:
-                cache_before = process_cache_statistics()
-            reports = [
-                check_node(
-                    annotated,
-                    node,
-                    delay=delay,
-                    conditions=conditions,
-                    fail_fast=fail_fast,
-                    incremental=incremental,
-                )
-                for node in selected
-            ]
-    else:
-        classes = partition_nodes(annotated, selected, delay=delay, conditions=conditions)
-        class_count = len(classes)
-        if symmetry == "spot-check":
-            rng = random.Random(spot_check_seed)
-            for symmetry_class in classes:
-                if len(symmetry_class) > 1:
-                    symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
-        if jobs > 1:
-            from repro.core.parallel import check_classes_in_parallel
-
-            reports, cache_delta = check_classes_in_parallel(
-                annotated,
-                classes,
-                delay=delay,
-                jobs=jobs,
-                conditions=conditions,
-                fail_fast=fail_fast,
-                incremental=incremental,
-            )
-        else:
-            if incremental:
-                cache_before = process_cache_statistics()
-            reports = [
-                report
-                for symmetry_class in classes
-                for report in check_class(
-                    annotated,
-                    symmetry_class,
-                    delay=delay,
-                    conditions=conditions,
-                    fail_fast=fail_fast,
-                    incremental=incremental,
-                )
-            ]
-        # Classes interleave the node order; restore the selection order so
-        # reports (and counterexample enumeration) are reproducible.
-        order = {node: index for index, node in enumerate(selected)}
-        reports.sort(key=lambda report: order[report.node])
-
-    if cache_before is not None:
-        cache_delta = subtract_cache_statistics(process_cache_statistics(), cache_before)
-    wall_time = _time.perf_counter() - started
-    return merge_reports(
-        reports,
-        wall_time=wall_time,
-        parallelism=max(1, jobs),
-        symmetry=symmetry,
-        symmetry_classes=class_count,
-        backend_cache=cache_delta,
+    warnings.warn(
+        "check_modular is deprecated; use repro.verify.Session with Modular(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.verify import Modular, Session
+
+    try:
+        strategy = Modular(
+            symmetry=symmetry,
+            backend="incremental" if incremental else "fresh",
+            # The legacy API accepted jobs <= 0 as "run sequentially".
+            parallel=max(1, jobs),
+            fail_fast=fail_fast,
+            spot_check_seed=spot_check_seed,
+            delay=delay,
+            conditions=tuple(conditions),
+        )
+    except ValueError as error:
+        # The legacy API signalled bad knobs with VerificationError.
+        raise VerificationError(str(error)) from None
+    with Session(annotated, strategy) as session:
+        return session.run(nodes=None if nodes is None else tuple(nodes))
 
 
 def assert_verified(report: ModularReport) -> None:

@@ -58,6 +58,22 @@ class NodeReport:
         return "\n".join(lines)
 
 
+def _jsonable(value: object) -> object:
+    """Recursively coerce evaluated model values to JSON-encodable shapes.
+
+    Route payloads evaluate to dicts whose values may be frozensets (community
+    sets), tuples, or nested records; JSON has no set type, so sets render as
+    sorted lists.
+    """
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
 def percentile(values: list[float], fraction: float) -> float:
     """The ``fraction`` percentile (nearest-rank) of a non-empty list."""
     if not values:
@@ -89,6 +105,51 @@ class ModularReport:
     @property
     def passed(self) -> bool:
         return all(report.passed for report in self.node_reports.values())
+
+    @property
+    def verdict(self) -> str:
+        """The :class:`repro.verify.Report` verdict (``"pass"``/``"fail"``)."""
+        return "pass" if self.passed else "fail"
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable projection (the :class:`repro.verify.Report` shape).
+
+        Carries the paper's headline numbers, the symmetry ablation counts,
+        the per-node verdicts and the incremental-backend cache counters —
+        the latter so ``BENCH_*.json`` trajectories can track cache
+        hit-rates across PRs.
+        """
+        return {
+            "engine": "modular",
+            "verdict": self.verdict,
+            "wall_time_s": self.wall_time,
+            "parallelism": self.parallelism,
+            "symmetry": self.symmetry,
+            "symmetry_classes": self.symmetry_classes,
+            "conditions_checked": self.conditions_checked,
+            "conditions_discharged": self.conditions_discharged,
+            "conditions_propagated": self.conditions_propagated,
+            "median_node_time_s": self.median_node_time,
+            "p99_node_time_s": self.p99_node_time,
+            "max_node_time_s": self.max_node_time,
+            "failed_nodes": self.failed_nodes,
+            "backend_cache": self.backend_cache,
+            "nodes": {
+                node: {
+                    "passed": report.passed,
+                    "duration_s": report.duration,
+                    "results": [
+                        {
+                            "condition": result.condition,
+                            "holds": result.holds,
+                            "propagated_from": result.propagated_from,
+                        }
+                        for result in report.results
+                    ],
+                }
+                for node, report in self.node_reports.items()
+            },
+        }
 
     @property
     def conditions_checked(self) -> int:
@@ -168,6 +229,36 @@ class MonolithicReport:
     timed_out: bool = False
     counterexample: dict[str, object] | None = None
     symbolics: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        """The :class:`repro.verify.Report` verdict (``timeout`` beats ``fail``)."""
+        if self.timed_out:
+            return "timeout"
+        return "pass" if self.passed else "fail"
+
+    @property
+    def backend_cache(self) -> dict[str, int] | None:
+        """Always ``None``: the monolithic engine uses the stateless facade."""
+        return None
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable projection (the :class:`repro.verify.Report` shape).
+
+        Counterexample routes and symbolic values are evaluated model
+        values, which include non-JSON types like frozen community sets;
+        they are normalised so failing runs serialise as cleanly as
+        passing ones.
+        """
+        return {
+            "engine": "monolithic",
+            "verdict": self.verdict,
+            "wall_time_s": self.wall_time,
+            "timed_out": self.timed_out,
+            "counterexample": _jsonable(self.counterexample),
+            "symbolics": _jsonable(self.symbolics),
+            "backend_cache": self.backend_cache,
+        }
 
     def summary(self) -> str:
         if self.timed_out:

@@ -14,14 +14,18 @@ reproduce before showing how the temporal procedure rejects them.
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro import smt
 from repro.core.counterexample import Counterexample
 from repro.errors import VerificationError
 from repro.routing.algebra import Network
-from repro.symbolic import SymBool
+from repro.symbolic import SymBV, SymBool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.annotations import AnnotatedNetwork
 
 #: A stable-state interface: a predicate over routes (no time component).
 StableInterface = Callable[[Any], SymBool]
@@ -40,11 +44,71 @@ class StrawpersonReport:
         return all(self.node_results.values())
 
     @property
+    def verdict(self) -> str:
+        """The :class:`repro.verify.Report` verdict (``"pass"``/``"fail"``)."""
+        return "pass" if self.passed else "fail"
+
+    @property
+    def backend_cache(self) -> dict[str, int] | None:
+        """Always ``None``: the strawperson uses the stateless facade."""
+        return None
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable projection (the :class:`repro.verify.Report` shape)."""
+        return {
+            "engine": "strawperson",
+            "verdict": self.verdict,
+            "wall_time_s": self.wall_time,
+            "node_results": dict(self.node_results),
+            "failed_nodes": self.failed_nodes,
+            "counterexamples": [example.describe() for example in self.counterexamples],
+            "backend_cache": self.backend_cache,
+        }
+
+    @property
     def failed_nodes(self) -> list[str]:
         return [node for node, passed in self.node_results.items() if not passed]
 
 
+def erased_interfaces(annotated: "AnnotatedNetwork") -> dict[str, StableInterface]:
+    """Each node's temporal interface erased at the stable time ``t ≥ τ_max``.
+
+    The default interface set for :class:`repro.verify.Strawperson` when the
+    caller supplies none — the same erasure the monolithic baseline applies
+    to properties, so the three engines compare like with like.
+    """
+    width = annotated.time_width()
+    stable_time = SymBV.constant(annotated.max_witness_time(), width)
+
+    def erase(node: str) -> StableInterface:
+        interface = annotated.interface(node)
+        return lambda route: interface(route, stable_time)
+
+    return {node: erase(node) for node in annotated.nodes}
+
+
 def check_strawperson(
+    network: Network,
+    interfaces: Mapping[str, StableInterface],
+) -> StrawpersonReport:
+    """Deprecated shim over :class:`repro.verify.Session`.
+
+    Use ``verify(network, Strawperson(interfaces=...))`` instead; the
+    verdicts are identical.
+    """
+    warnings.warn(
+        "check_strawperson is deprecated; use repro.verify.Session with "
+        "Strawperson(interfaces=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.verify import Session, Strawperson
+
+    with Session(network, Strawperson(interfaces=interfaces)) as session:
+        return session.run()
+
+
+def run_strawperson(
     network: Network,
     interfaces: Mapping[str, StableInterface],
 ) -> StrawpersonReport:

@@ -1,8 +1,18 @@
-"""The experiment harness: sweeps, result records, table printers, CLI."""
+"""The experiment harness: sweeps, result records, table printers, CLI.
+
+Sweeps are parameterised by :mod:`repro.verify` strategy objects (pass
+``modular=Modular(...)`` / ``monolithic=Monolithic(...)``, or ``None`` to
+skip an engine) and build their networks through
+:mod:`repro.networks.registry`.  :class:`SweepSettings` is a deprecated
+shim over the strategy pair.
+"""
 
 from repro.harness.runner import (
+    DEFAULT_MODULAR,
+    DEFAULT_MONOLITHIC,
     ExperimentResult,
     SweepSettings,
+    results_to_json,
     run_point,
     scaling_comparison,
     sweep_fattree,
@@ -20,8 +30,11 @@ from repro.harness.tables import (
 )
 
 __all__ = [
+    "DEFAULT_MODULAR",
+    "DEFAULT_MONOLITHIC",
     "ExperimentResult",
     "SweepSettings",
+    "results_to_json",
     "run_point",
     "sweep_fattree",
     "sweep_wan",

@@ -5,21 +5,37 @@ Examples::
     timepiece-bench figure1 --pods 4 8 --timeout 60
     timepiece-bench figure14 --policy reach --pods 4 8 12
     timepiece-bench figure14 --policy hijack --all-pairs --pods 4
+    timepiece-bench figure14 --policy reach --symmetry spot-check --stats
     timepiece-bench internet2 --peers 20 40 --timeout 120
+    timepiece-bench benchmarks
     timepiece-bench table1
     timepiece-bench table2
 
 Every subcommand prints the corresponding table from the paper's evaluation
 (scaled-down defaults; pass larger ``--pods``/``--peers`` and ``--timeout``
-values to push further).
+values to push further).  Arguments are turned into
+:mod:`repro.verify` strategy objects — the CLI holds no engine knobs of its
+own — and benchmarks are built through :mod:`repro.networks.registry`.
+``--json PATH`` additionally writes the sweep's machine-readable records
+(including backend cache counters) for trajectory tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from typing import Sequence
 
-from repro.harness.runner import SweepSettings, scaling_comparison, sweep_fattree, sweep_wan
+from repro.core.results import ConditionResult
+from repro.errors import BenchmarkError
+from repro.harness.runner import (
+    ExperimentResult,
+    results_to_json,
+    scaling_comparison,
+    sweep_fattree,
+    sweep_wan,
+)
 from repro.harness.tables import (
     cache_statistics_table,
     figure14_table,
@@ -29,6 +45,8 @@ from repro.harness.tables import (
     scaling_table,
     symmetry_table,
 )
+from repro.networks import registry
+from repro.verify import BACKENDS, Modular, Monolithic, strategy
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -50,10 +68,9 @@ def build_argument_parser() -> argparse.ArgumentParser:
     internet2 = subparsers.add_parser("internet2", help="the BlockToExternal WAN experiment")
     internet2.add_argument("--peers", type=int, nargs="+", default=[20, 40])
     internet2.add_argument("--internal", type=int, default=10)
-    internet2.add_argument("--timeout", type=float, default=60.0)
-    internet2.add_argument("--jobs", type=int, default=1)
-    internet2.add_argument("--skip-monolithic", action="store_true")
+    _add_strategy_arguments(internet2)
 
+    subparsers.add_parser("benchmarks", help="list the registered benchmarks and parameters")
     subparsers.add_parser("table1", help="ghost state per property (Table 1)")
     subparsers.add_parser("table2", help="lines of code per benchmark (Table 2)")
     return parser
@@ -61,6 +78,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
 def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pods", type=int, nargs="+", default=[4, 8], help="fattree pod counts k")
+    _add_strategy_arguments(parser)
+
+
+def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
+    """The argv surface of the verification strategies (argv → strategy)."""
     parser.add_argument("--timeout", type=float, default=60.0, help="monolithic timeout in seconds")
     parser.add_argument("--jobs", type=int, default=1, help="parallel workers for modular checks")
     parser.add_argument("--skip-monolithic", action="store_true", help="only run the modular checks")
@@ -71,57 +93,157 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="symmetry reduction for modular checks (default: off)",
     )
     parser.add_argument(
+        "--spot-check-seed",
+        type=int,
+        default=0,
+        help="seed for the spot-check member choice (with --symmetry spot-check)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="incremental",
+        help="modular SMT backend (default: incremental)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="also print symmetry and incremental-backend cache statistics",
     )
-
-
-def _settings(arguments: argparse.Namespace) -> SweepSettings:
-    return SweepSettings(
-        monolithic_timeout=arguments.timeout,
-        jobs=arguments.jobs,
-        run_monolithic=not arguments.skip_monolithic,
-        symmetry=getattr(arguments, "symmetry", "off"),
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream per-condition progress lines to stderr as verdicts arrive "
+            "(with --jobs > 1 each sweep point reports in one batch once its "
+            "workers finish)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep's machine-readable records (with cache counters) to PATH",
     )
 
 
-def _print_statistics(arguments: argparse.Namespace, results) -> None:
-    if not getattr(arguments, "stats", False):
-        return
-    print()
-    print(symmetry_table(results))
-    print()
-    print(cache_statistics_table(results))
+def _modular_strategy(arguments: argparse.Namespace) -> Modular:
+    """Build the modular strategy from argv via the strategy registry."""
+    return strategy(
+        "modular",
+        symmetry=arguments.symmetry,
+        backend=arguments.backend,
+        # --jobs 0 has always meant "run sequentially".
+        parallel=max(1, arguments.jobs),
+        spot_check_seed=arguments.spot_check_seed,
+    )
+
+
+def _monolithic_strategy(arguments: argparse.Namespace) -> Monolithic | None:
+    if arguments.skip_monolithic:
+        return None
+    return strategy("monolithic", timeout=arguments.timeout)
+
+
+def _observer(arguments: argparse.Namespace, modular: Modular):
+    if not arguments.progress:
+        return None
+    print(f"strategy: {modular.describe()}", file=sys.stderr)
+
+    def on_event(event: ConditionResult) -> None:
+        status = "ok" if event.holds else "FAIL"
+        origin = "" if event.propagated_from is None else f" (from {event.propagated_from})"
+        print(f"  {event.node} {event.condition}: {status}{origin}", file=sys.stderr)
+
+    return on_event
+
+
+def _emit(arguments: argparse.Namespace, results: list[ExperimentResult]) -> None:
+    if getattr(arguments, "stats", False):
+        print()
+        print(symmetry_table(results))
+        print()
+        print(cache_statistics_table(results))
+    if getattr(arguments, "json", None):
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(results_to_json(results), handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.json}")
+
+
+def _benchmarks_listing() -> str:
+    lines = []
+    for name in registry.benchmark_names():
+        spec = registry.get_spec(name)
+        parameters = ", ".join(
+            f"{parameter.name}={parameter.default!r}" for parameter in spec.parameters
+        )
+        aliases = f" (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
+        lines.append(f"{name}{aliases}")
+        lines.append(f"    {spec.description}")
+        lines.append(f"    parameters: {parameters or 'none'}")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     arguments = build_argument_parser().parse_args(argv)
 
+    strategies: tuple[Modular, Monolithic | None] | None = None
+    if arguments.command in ("figure1", "figure14", "internet2"):
+        try:
+            strategies = (_modular_strategy(arguments), _monolithic_strategy(arguments))
+        except ValueError as error:
+            # Strategy self-validation catches bad knob combinations argparse
+            # cannot express (e.g. --backend persistent --jobs 2); report
+            # them like any other usage error instead of a traceback.
+            print(f"timepiece-bench: error: {error}", file=sys.stderr)
+            return 2
+    try:
+        return _dispatch(arguments, strategies)
+    except BenchmarkError as error:
+        # Registry parameter validation rejects argv-driven benchmark
+        # parameters (e.g. an odd --pods value).
+        print(f"timepiece-bench: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(
+    arguments: argparse.Namespace,
+    strategies: tuple[Modular, Monolithic | None] | None,
+) -> int:
+    if strategies is not None:
+        modular, monolithic = strategies
     if arguments.command == "figure1":
-        results = scaling_comparison(arguments.policy, arguments.pods, settings=_settings(arguments))
+        results = scaling_comparison(
+            arguments.policy,
+            arguments.pods,
+            modular=modular,
+            monolithic=monolithic,
+            on_event=_observer(arguments, modular),
+        )
         print(scaling_table(results))
-        _print_statistics(arguments, results)
+        _emit(arguments, results)
     elif arguments.command == "figure14":
         results = sweep_fattree(
             arguments.policy,
             arguments.pods,
             all_pairs=arguments.all_pairs,
-            settings=_settings(arguments),
+            modular=modular,
+            monolithic=monolithic,
+            on_event=_observer(arguments, modular),
         )
         print(figure14_table(results))
-        _print_statistics(arguments, results)
+        _emit(arguments, results)
     elif arguments.command == "internet2":
         results = sweep_wan(
             arguments.peers,
             internal_routers=arguments.internal,
-            settings=SweepSettings(
-                monolithic_timeout=arguments.timeout,
-                jobs=arguments.jobs,
-                run_monolithic=not arguments.skip_monolithic,
-            ),
+            modular=modular,
+            monolithic=monolithic,
+            on_event=_observer(arguments, modular),
         )
         print(internet2_table(results))
+        _emit(arguments, results)
+    elif arguments.command == "benchmarks":
+        print(_benchmarks_listing())
     elif arguments.command == "table1":
         print(ghost_state_table())
     elif arguments.command == "table2":

@@ -7,21 +7,31 @@ and 99th percentile, and the monolithic baseline's total time (or timeout) —
 and the sweep functions return lists of such points, which
 :mod:`repro.harness.tables` renders into the rows/series of Figures 1 and 14
 and the Internet2 paragraph.
+
+Engines are selected by :mod:`repro.verify` strategy objects: every sweep
+takes a ``modular`` strategy and/or a ``monolithic`` strategy (``None``
+skips that engine) and runs each point through a
+:class:`~repro.verify.Session`, streaming per-condition events to an
+optional ``on_event`` observer.  Benchmarks are constructed through
+:mod:`repro.networks.registry`, the single validated build path.
+
+The legacy :class:`SweepSettings` record is a deprecated shim that converts
+its knobs into the equivalent strategy pair.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
-from repro.core import check_modular, check_monolithic
 from repro.core.annotations import AnnotatedNetwork
-from repro.core.results import ModularReport, MonolithicReport
-from repro.errors import BenchmarkError
-from repro.networks.benchmarks import FattreeBenchmark, build_benchmark
-from repro.networks.wan import WanBenchmark, build_wan_benchmark
-from repro.config.generator import WanParameters
+from repro.core.results import ConditionResult, ModularReport, MonolithicReport
+from repro.networks import registry
+from repro.verify import Modular, Monolithic, Session
+
+#: Streaming observer: called with every ConditionResult as it is produced.
+EventObserver = Callable[[ConditionResult], None]
 
 
 @dataclass
@@ -78,21 +88,51 @@ class ExperimentResult:
             "ms_outcome": self._monolithic_outcome(),
         }
 
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable record of this point, full reports included.
+
+        The modular report's ``backend_cache`` counters ride along (both
+        nested under ``modular`` and surfaced at the top level), so
+        ``BENCH_*.json`` trajectories can track cache hit-rates across PRs.
+        """
+        return {
+            "experiment": self.experiment,
+            "benchmark": self.benchmark,
+            "nodes": self.nodes,
+            "parameters": dict(self.parameters),
+            "row": self.as_row(),
+            "modular": None if self.modular is None else self.modular.to_json(),
+            "monolithic": None if self.monolithic is None else self.monolithic.to_json(),
+            "backend_cache": None if self.modular is None else self.modular.backend_cache,
+        }
+
     def _monolithic_outcome(self) -> str:
-        if self.monolithic is None:
-            return "skipped"
-        if self.monolithic.timed_out:
-            return "timeout"
-        return "pass" if self.monolithic.passed else "fail"
+        return "skipped" if self.monolithic is None else self.monolithic.verdict
 
 
 def _rounded(value: float | None) -> float | None:
     return None if value is None else round(value, 3)
 
 
+def results_to_json(results: Sequence[ExperimentResult]) -> list[dict[str, object]]:
+    """The harness' machine-readable output: one record per sweep point."""
+    return [result.to_json() for result in results]
+
+
+#: The default strategies of every sweep (the paper's configuration).
+DEFAULT_MODULAR = Modular()
+DEFAULT_MONOLITHIC = Monolithic(timeout=60.0)
+
+
 @dataclass
 class SweepSettings:
-    """Settings shared by the sweep helpers."""
+    """Deprecated shim: legacy sweep knobs, now a strategy-pair factory.
+
+    Use :class:`repro.verify.Modular` / :class:`repro.verify.Monolithic`
+    strategy objects instead — they carry every engine knob (including
+    ``backend`` and ``spot_check_seed``, which this record never plumbed
+    through).
+    """
 
     #: Wall-clock budget for each monolithic check (the paper used 2 hours).
     monolithic_timeout: float = 60.0
@@ -105,26 +145,90 @@ class SweepSettings:
     #: Symmetry-reduction mode for modular checks ("off" | "classes" | "spot-check").
     symmetry: str = "off"
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "SweepSettings is deprecated; pass repro.verify Modular/Monolithic "
+            "strategies to the sweep helpers instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+    def strategies(self) -> tuple[Modular | None, Monolithic | None]:
+        """The equivalent strategy pair."""
+        modular = (
+            # The legacy sweep treated jobs <= 0 as "run sequentially".
+            Modular(symmetry=self.symmetry, parallel=max(1, self.jobs))
+            if self.run_modular
+            else None
+        )
+        monolithic = Monolithic(timeout=self.monolithic_timeout) if self.run_monolithic else None
+        return modular, monolithic
+
+
+def _resolve_strategies(
+    modular: Modular | None,
+    monolithic: Monolithic | None,
+    settings: SweepSettings | None,
+) -> tuple[Modular | None, Monolithic | None]:
+    if settings is None and isinstance(modular, SweepSettings):
+        # Legacy callers passed SweepSettings positionally in the slot the
+        # strategy pair now occupies; honour it so the deprecation shim
+        # keeps its compatibility promise.  Anything else riding along in
+        # the next positional slot (the old signatures' ``experiment``)
+        # cannot be placed and must not be silently dropped.
+        if not isinstance(monolithic, (Monolithic, type(None))):
+            raise TypeError(
+                "legacy positional SweepSettings call also passed "
+                f"{monolithic!r} positionally; pass experiment/parameters by "
+                "keyword (or migrate to Modular/Monolithic strategies)"
+            )
+        settings = modular
+    if settings is not None:
+        return settings.strategies()
+    return modular, monolithic
+
 
 def run_point(
     experiment: str,
     benchmark_name: str,
     annotated: AnnotatedNetwork,
     nodes: int,
-    settings: SweepSettings,
+    modular: Modular | None = DEFAULT_MODULAR,
+    monolithic: Monolithic | None = DEFAULT_MONOLITHIC,
     parameters: dict[str, object] | None = None,
+    on_event: EventObserver | None = None,
+    settings: SweepSettings | None = None,
 ) -> ExperimentResult:
-    """Run one (benchmark, size) point with the given settings."""
+    """Run one (benchmark, size) point under the given strategies.
+
+    Each non-``None`` strategy runs in its own :class:`Session`; the
+    modular session streams per-condition events to ``on_event`` as they
+    are discharged.  ``settings`` is the deprecated legacy knob record and
+    overrides both strategies when passed.
+    """
+    if isinstance(modular, SweepSettings):
+        # Legacy positional call run_point(exp, name, annotated, nodes,
+        # settings, parameters): settings lands in the modular slot (handled
+        # by _resolve_strategies) and parameters in the monolithic slot.
+        if parameters is None and isinstance(monolithic, dict):
+            parameters = monolithic
+        monolithic = None
+    modular, monolithic = _resolve_strategies(modular, monolithic, settings)
     result = ExperimentResult(
         experiment=experiment,
         benchmark=benchmark_name,
         nodes=nodes,
         parameters=dict(parameters or {}),
     )
-    if settings.run_modular:
-        result.modular = check_modular(annotated, jobs=settings.jobs, symmetry=settings.symmetry)
-    if settings.run_monolithic:
-        result.monolithic = check_monolithic(annotated, timeout=settings.monolithic_timeout)
+    if modular is not None:
+        with Session(annotated, modular) as session:
+            for event in session.stream():
+                if on_event is not None:
+                    on_event(event)
+            result.modular = session.report
+    if monolithic is not None:
+        with Session(annotated, monolithic) as session:
+            result.monolithic = session.run()
     return result
 
 
@@ -132,22 +236,27 @@ def sweep_fattree(
     policy: str,
     pod_counts: Sequence[int],
     all_pairs: bool = False,
-    settings: SweepSettings | None = None,
+    modular: Modular | None = DEFAULT_MODULAR,
+    monolithic: Monolithic | None = DEFAULT_MONOLITHIC,
     experiment: str = "figure14",
+    on_event: EventObserver | None = None,
+    settings: SweepSettings | None = None,
 ) -> list[ExperimentResult]:
     """Sweep one fattree benchmark over a list of pod counts ``k``."""
-    settings = settings or SweepSettings()
+    modular, monolithic = _resolve_strategies(modular, monolithic, settings)
     results: list[ExperimentResult] = []
     for pods in pod_counts:
-        benchmark: FattreeBenchmark = build_benchmark(policy, pods, all_pairs=all_pairs)
+        benchmark = registry.build(f"fattree/{policy}", pods=pods, all_pairs=all_pairs)
         results.append(
             run_point(
                 experiment,
                 benchmark.name,
                 benchmark.annotated,
                 nodes=benchmark.node_count,
-                settings=settings,
+                modular=modular,
+                monolithic=monolithic,
                 parameters={"pods": pods},
+                on_event=on_event,
             )
         )
     return results
@@ -156,15 +265,18 @@ def sweep_fattree(
 def sweep_wan(
     peer_counts: Sequence[int],
     internal_routers: int = 10,
-    settings: SweepSettings | None = None,
+    modular: Modular | None = DEFAULT_MODULAR,
+    monolithic: Monolithic | None = DEFAULT_MONOLITHIC,
     experiment: str = "internet2",
+    on_event: EventObserver | None = None,
+    settings: SweepSettings | None = None,
 ) -> list[ExperimentResult]:
     """Sweep the BlockToExternal benchmark over external-peer counts."""
-    settings = settings or SweepSettings()
+    modular, monolithic = _resolve_strategies(modular, monolithic, settings)
     results: list[ExperimentResult] = []
     for peers in peer_counts:
-        benchmark: WanBenchmark = build_wan_benchmark(
-            WanParameters(internal_routers=internal_routers, external_peers=peers)
+        benchmark = registry.build(
+            "wan/block_to_external", internal_routers=internal_routers, external_peers=peers
         )
         results.append(
             run_point(
@@ -172,8 +284,10 @@ def sweep_wan(
                 benchmark.name,
                 benchmark.annotated,
                 nodes=benchmark.node_count,
-                settings=settings,
+                modular=modular,
+                monolithic=monolithic,
                 parameters={"internal": internal_routers, "external": peers},
+                on_event=on_event,
             )
         )
     return results
@@ -182,7 +296,19 @@ def sweep_wan(
 def scaling_comparison(
     policy: str,
     pod_counts: Sequence[int],
+    modular: Modular | None = DEFAULT_MODULAR,
+    monolithic: Monolithic | None = DEFAULT_MONOLITHIC,
+    on_event: EventObserver | None = None,
     settings: SweepSettings | None = None,
 ) -> list[ExperimentResult]:
     """The Figure 1 sweep: modular vs monolithic time as the fattree grows."""
-    return sweep_fattree(policy, pod_counts, all_pairs=False, settings=settings, experiment="figure1")
+    modular, monolithic = _resolve_strategies(modular, monolithic, settings)
+    return sweep_fattree(
+        policy,
+        pod_counts,
+        all_pairs=False,
+        modular=modular,
+        monolithic=monolithic,
+        experiment="figure1",
+        on_event=on_event,
+    )

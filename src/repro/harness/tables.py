@@ -166,6 +166,7 @@ CACHE_STATISTIC_KEYS = (
     "guard_hits",
     "scopes",
     "learned_retained",
+    "learned_carried",
 )
 
 

@@ -3,9 +3,16 @@ ghost-state constructions.
 
 These are the networks of the paper's evaluation (§6).  Each builder returns
 an :class:`~repro.core.annotations.AnnotatedNetwork` complete with the
-interfaces and properties described in the paper, ready for
-:func:`repro.core.check_modular` / :func:`repro.core.check_monolithic`.
+interfaces and properties described in the paper, ready for a
+:class:`repro.verify.Session` under any strategy.
+
+Construct networks by name through :mod:`repro.networks.registry`
+(``registry.build("fattree/reach", pods=4)``) — the single validated path
+used by the harness, CLI, benchmarks and tests.
 """
+
+from repro.networks import registry
+from repro.networks.registry import BenchmarkSpec, BuiltBenchmark, benchmark_names
 
 from repro.networks.benchmarks import (
     COMPACT_WIDTHS,
@@ -39,6 +46,10 @@ from repro.networks.ghost import (
 from repro.networks.wan import WanBenchmark, block_to_external_predicate, build_wan_benchmark
 
 __all__ = [
+    "BenchmarkSpec",
+    "BuiltBenchmark",
+    "benchmark_names",
+    "registry",
     "Fattree",
     "FattreeNode",
     "fattree_size",

@@ -613,23 +613,30 @@ def build_hijack(pods: int, all_pairs: bool = False, widths: dict[str, int] | No
 
 
 # ---------------------------------------------------------------------------
-# Registry
+# Legacy dispatch (shim over the benchmark registry)
 # ---------------------------------------------------------------------------
-
-_BUILDERS: dict[str, Callable[..., FattreeBenchmark]] = {
-    "reach": build_reach,
-    "length": build_length,
-    "valley_freedom": build_valley_freedom,
-    "hijack": build_hijack,
-}
 
 
 def build_benchmark(
     policy: str, pods: int, all_pairs: bool = False, widths: dict[str, int] | None = None
 ) -> FattreeBenchmark:
-    """Build a benchmark by policy name (``reach``/``length``/``valley_freedom``/``hijack``)."""
-    try:
-        builder = _BUILDERS[policy]
-    except KeyError:
-        raise BenchmarkError(f"unknown policy {policy!r}; choose one of {sorted(_BUILDERS)}") from None
-    return builder(pods, all_pairs=all_pairs, widths=widths)
+    """Deprecated shim over :mod:`repro.networks.registry`.
+
+    Use ``registry.build(f"fattree/{policy}", pods=..., all_pairs=...,
+    widths=...)`` instead; the built network is identical (the registry
+    entries call this module's builders).
+    """
+    import warnings
+
+    warnings.warn(
+        "build_benchmark is deprecated; use repro.networks.registry.build"
+        "('fattree/<policy>', pods=..., all_pairs=..., widths=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.networks import registry
+
+    if policy not in POLICIES:
+        raise BenchmarkError(f"unknown policy {policy!r}; choose one of {sorted(POLICIES)}")
+    built = registry.build(f"fattree/{policy}", pods=pods, all_pairs=all_pairs, widths=widths)
+    return built.raw

@@ -102,11 +102,42 @@ class IncrementalSolver:
     scopes themselves: a check whose SAT instance has outgrown the bound
     starts a fresh scope automatically (always safe — each check re-ships
     the cone it needs).
+
+    ``persist_learned`` carries learned clauses *across* scope rotations
+    (they are dropped with the retiring SAT instance otherwise).  At
+    rotation time the retiring instance's learned clauses are translated
+    from its scope-local variable numbering back to the solver's global CNF
+    variables into a bounded carry set; each later ``check`` injects, after
+    shipping its clause cone, the carried clauses whose variables all
+    appear in the scope (a clause over unmapped variables is trivially
+    satisfiable there and would be pure overhead).  This is sound because
+    every learned clause is entailed by the clauses shipped to its scope —
+    a subset of the global CNF (Tseitin definitions, which are
+    definitional, plus activation-guard clauses, which only constrain fresh
+    guard variables) — so it is entailed by the global CNF and may be added
+    to any other scope without changing any query's answer.  The carried
+    set is bounded (``max_carried_clauses``, stalest evicted first) and is
+    invalidated by compaction, which discards the CNF it is phrased over.
+    ``cache_statistics`` reports both the distinct carry set
+    (``learned_carry_size``) and cumulative injections
+    (``learned_carried``).  Verification sessions
+    (:class:`repro.verify.Session`) use this to retain conflict knowledge
+    across whole runs.
     """
 
-    def __init__(self, max_variables: int = 500_000, max_scope_clauses: int = 50_000) -> None:
+    def __init__(
+        self,
+        max_variables: int = 500_000,
+        max_scope_clauses: int = 50_000,
+        persist_learned: bool = False,
+        max_carried_clauses: int = 4096,
+        max_carried_literals: int = 16,
+    ) -> None:
         self.max_variables = max_variables
         self.max_scope_clauses = max_scope_clauses
+        self.persist_learned = persist_learned
+        self.max_carried_clauses = max_carried_clauses
+        self.max_carried_literals = max_carried_literals
         self.statistics = SolverStatistics()
         self._frames: list[list[Term]] = [[]]
         self._cnf = Cnf()
@@ -124,6 +155,16 @@ class IncrementalSolver:
         # Learned-clause counters accumulated from rotated-out SAT instances.
         self._retired_learned = 0
         self._retired_deleted = 0
+        #: Learned clauses harvested from retired scopes, phrased over the
+        #: global CNF variables (only with ``persist_learned``).
+        self._carried: dict[tuple[int, ...], None] = {}
+        #: Carried clauses already injected into the current scope.
+        self._carried_injected: set[tuple[int, ...]] = set()
+        #: Scope variable count when carried clauses were last classified;
+        #: lets repeated checks skip the rescan until new structure ships.
+        self._carried_checked_at = -1
+        #: Clauses injected into scopes from the carried set (cumulative).
+        self.learned_carried = 0
         self._sat = CdclSolver()
         self._shipped: set[int] = set()
         self._var_map: dict[int, int] = {}
@@ -164,15 +205,84 @@ class IncrementalSolver:
         """Rotate in a fresh SAT instance (encoding caches persist).
 
         Safe at any time: the next ``check`` re-ships whatever cone of
-        clauses its active assertions need.  Learned clauses and the
-        SAT-level clause database of the previous scope are dropped.
+        clauses its active assertions need.  The SAT-level clause database
+        of the previous scope is dropped; its learned clauses are dropped
+        too unless ``persist_learned`` is set, in which case they are
+        translated back to global CNF variables and re-shipped into the
+        fresh instance (see the class docstring for the soundness argument).
         """
+        if self.persist_learned:
+            self._harvest_learned()
         self._retired_learned += self._sat.statistics["learned"]
         self._retired_deleted += self._sat.statistics["deleted"]
         self._sat = CdclSolver()
         self._shipped = set()
         self._var_map = {}
+        self._carried_injected = set()
+        self._carried_checked_at = -1
         self.scopes += 1
+
+    def _harvest_learned(self) -> None:
+        """Translate the retiring scope's learned clauses to global CNF variables.
+
+        Root-implied literals are carried as unit clauses alongside the
+        multi-literal learned clauses: learned units are the strongest
+        conflict knowledge the scope derived (they fix a variable outright),
+        and the CDCL core stores them on the root trail rather than in its
+        learned-clause list.
+        """
+        inverse = {local: global_var for global_var, local in self._var_map.items()}
+        units = [[literal] for literal in self._sat.root_implied_literals()]
+        for clause in units + self._sat.learned_clauses():
+            if len(clause) > self.max_carried_literals:
+                continue
+            try:
+                translated = tuple(
+                    inverse[abs(literal)] if literal > 0 else -inverse[abs(literal)]
+                    for literal in clause
+                )
+            except KeyError:
+                # A literal over a variable this scope never mapped (cannot
+                # happen for clauses learned from shipped cones; defensive).
+                continue
+            # Re-inserting moves the clause to the recent end of the carry
+            # set, so the cap below evicts the stalest knowledge first.
+            self._carried.pop(translated, None)
+            self._carried[translated] = None
+        while len(self._carried) > self.max_carried_clauses:
+            self._carried.pop(next(iter(self._carried)))
+
+    def _inject_carried(self) -> None:
+        """Inject scope-relevant carried clauses into the current SAT instance.
+
+        Runs after a ``check`` has shipped its clause cone: a carried clause
+        is injected once per scope, and only if every variable it mentions
+        is already mapped there — a clause over unmapped variables is
+        trivially satisfiable in this scope and would only slow propagation.
+        Mappability can only change when the scope's variable map grows, so
+        checks that ship no new structure skip the rescan entirely.
+        """
+        var_map = self._var_map
+        if self._carried_checked_at == len(var_map):
+            return
+        self._carried_checked_at = len(var_map)
+        sat = self._sat
+        injected = self._carried_injected
+        for clause in self._carried:
+            if clause in injected:
+                continue
+            mapped = []
+            for literal in clause:
+                local = var_map.get(abs(literal))
+                if local is None:
+                    break
+                mapped.append(local if literal > 0 else -local)
+            else:
+                injected.add(clause)
+                # Count only clauses that recorded a constraint; the checked
+                # add path drops clauses already satisfied at root level.
+                if sat.add_clause_unchecked(mapped):
+                    self.learned_carried += 1
 
     def recover(self) -> None:
         """Restore a known-good state after an exception escaped a check.
@@ -213,6 +323,8 @@ class IncrementalSolver:
             "clauses_learned": learned,
             "clauses_deleted": deleted,
             "learned_retained": learned - deleted,
+            "learned_carried": self.learned_carried,
+            "learned_carry_size": len(self._carried),
             "compactions": self.compactions,
         }
 
@@ -228,6 +340,13 @@ class IncrementalSolver:
         self._encoder.cache_hits = retired.cache_hits
         self._encoder.cache_misses = retired.cache_misses
         self._guards = {}
+        # Carried learned clauses are phrased over the discarded CNF's
+        # variable ids; they are meaningless against the rebuilt encoding.
+        # The variable map is cleared first so the rotation below cannot
+        # harvest the retiring scope's clauses into the new carry set.
+        self._carried = {}
+        self._carried_injected = set()
+        self._var_map = {}
         self.compactions += 1
         self.new_scope()
 
@@ -272,6 +391,8 @@ class IncrementalSolver:
         if trivially_unsat:
             status = SatStatus.UNSAT
         else:
+            if self.persist_learned and self._carried:
+                self._inject_carried()
             status = self._sat.solve(assumptions=assumptions, timeout=timeout)
 
         elapsed = _time.perf_counter() - started
@@ -427,14 +548,26 @@ def process_cache_statistics() -> dict[str, int]:
     return process_solver().cache_statistics()
 
 
+#: Statistics keys that report a *current size* (gauges) rather than a
+#: cumulative count; deltas keep the latest reading and merges keep the
+#: largest, since differencing or summing a gauge is meaningless.
+GAUGE_STATISTICS = ("learned_carry_size",)
+
+
 def subtract_cache_statistics(after: dict[str, int], before: dict[str, int]) -> dict[str, int]:
     """Component-wise ``after - before`` over cache-statistics dicts."""
-    return {key: value - before.get(key, 0) for key, value in after.items()}
+    return {
+        key: value if key in GAUGE_STATISTICS else value - before.get(key, 0)
+        for key, value in after.items()
+    }
 
 
 def add_cache_statistics(left: dict[str, int], right: dict[str, int]) -> dict[str, int]:
     """Component-wise sum (used to merge per-worker statistics deltas)."""
     merged = dict(left)
     for key, value in right.items():
-        merged[key] = merged.get(key, 0) + value
+        if key in GAUGE_STATISTICS:
+            merged[key] = max(merged.get(key, 0), value)
+        else:
+            merged[key] = merged.get(key, 0) + value
     return merged

@@ -130,7 +130,7 @@ class CdclSolver:
             self._phase.append(False)
             self._heap.push(self.num_vars)
 
-    def add_clause(self, literals: list[int]) -> None:
+    def add_clause(self, literals: list[int]) -> bool:
         """Add a clause to the database (before or between solve calls).
 
         The clause is simplified against the top-level assignment: clauses
@@ -139,6 +139,11 @@ class CdclSolver:
         database, so this preserves equivalence — and it is required for
         soundness, because unit propagation never revisits literals that were
         falsified before the clause arrived.
+
+        Returns whether the clause recorded a constraint (attached, queued
+        as a unit, or proved the database unsatisfiable); redundant clauses
+        — tautologies and clauses already satisfied at level 0 — report
+        ``False``.
         """
         if self._trail_limits:
             raise SolverError("clauses may only be added at decision level 0")
@@ -149,7 +154,7 @@ class CdclSolver:
                 raise SolverError("0 is not a valid literal")
             self.ensure_vars(abs(literal))
             if -literal in seen:
-                return  # tautology
+                return False  # tautology
             if literal not in seen:
                 seen.add(literal)
                 unique.append(literal)
@@ -157,19 +162,20 @@ class CdclSolver:
         for literal in unique:
             value = self._value(literal)
             if value == 1:
-                return  # already satisfied at level 0
+                return False  # already satisfied at level 0
             if value == 0:
                 simplified.append(literal)
             # value == -1: falsified at level 0, drop the literal
         if not simplified:
             self._unsatisfiable = True
-            return
+            return True
         if len(simplified) == 1:
             self._pending_units.append(simplified[0])
-            return
+            return True
         self._attach_clause(simplified)
+        return True
 
-    def add_clause_unchecked(self, literals: list[int]) -> None:
+    def add_clause_unchecked(self, literals: list[int]) -> bool:
         """Bulk-load fast path for clauses straight out of a CNF database.
 
         The caller guarantees the literals are nonzero, duplicate-free and
@@ -177,15 +183,41 @@ class CdclSolver:
         the per-literal vetting of :meth:`add_clause` is skipped.  The clause
         list is owned by the solver afterwards.  When top-level assignments
         exist the checked path is taken anyway — those require
-        simplification against the root trail.
+        simplification against the root trail.  Returns whether a constraint
+        was recorded (see :meth:`add_clause`).
         """
         if self._trail or len(literals) < 2:
-            self.add_clause(literals)
-            return
+            return self.add_clause(literals)
         if self._trail_limits:
             raise SolverError("clauses may only be added at decision level 0")
         self.ensure_vars(max(abs(literal) for literal in literals))
         self._attach_clause(literals)
+        return True
+
+    def learned_clauses(self) -> list[list[int]]:
+        """The currently retained learned clauses (copies, DIMACS literals).
+
+        Every learned clause is entailed by the clause database alone
+        (conflict analysis treats assumptions as decisions and resolves only
+        on reason clauses), so callers may re-add them to any solver whose
+        database is a superset — or an equisatisfiable extension — of this
+        one.  The incremental backend uses this to carry learned clauses
+        across SAT-scope rotations.
+        """
+        return [list(clause) for clause in self._learned]
+
+    def root_implied_literals(self) -> list[int]:
+        """Literals entailed at decision level 0, plus pending learned units.
+
+        Assumptions are decisions above level 0 and every ``solve`` exit
+        path unwinds them, so each literal here — root-trail assignments
+        (original units and their propagations, learned units from earlier
+        solves) and not-yet-enqueued pending units — is a consequence of
+        the clause database alone and may be re-asserted as a unit clause
+        wherever the database extends equisatisfiably.
+        """
+        root_size = self._trail_limits[0] if self._trail_limits else len(self._trail)
+        return self._trail[:root_size] + list(self._pending_units)
 
     def _attach_clause(self, clause: list[int]) -> None:
         if isinstance(clause, LearnedClause):

@@ -1,0 +1,63 @@
+"""``repro.verify`` — the unified verification API.
+
+One entry point for every engine the paper compares:
+
+* **Strategy objects** (:class:`Modular`, :class:`Monolithic`,
+  :class:`Strawperson`) are frozen, self-validating dataclasses holding
+  every knob of an engine, registered by name so new engines plug in
+  without new call sites.
+* A :class:`Session` binds a target network to a strategy, owns the
+  incremental solver's lifecycle across runs (``backend="persistent"``
+  carries learned clauses across SAT scopes *and* runs) and streams
+  per-condition :class:`~repro.core.results.ConditionResult` events before
+  finalizing a report.
+* Every report satisfies the common :class:`Report` protocol (``verdict``,
+  ``wall_time``, ``backend_cache``, ``to_json()``).
+
+Quickstart::
+
+    from repro.verify import Modular, Session, verify
+
+    report = verify(annotated)                       # modular, defaults
+    report = verify(annotated, Modular(symmetry="classes"))
+
+    with Session(annotated, Modular(backend="persistent")) as session:
+        for event in session.stream():               # streaming progress
+            print(event.node, event.condition, event.holds)
+        report = session.report
+
+The legacy ``repro.core.check_modular``/``check_monolithic``/
+``check_strawperson`` functions and ``repro.harness.SweepSettings`` are
+deprecated shims over this API and produce identical verdicts.
+"""
+
+from repro.verify.reports import Report, VERDICTS, is_report
+from repro.verify.session import Session, verify
+from repro.verify.strategies import (
+    BACKENDS,
+    Modular,
+    Monolithic,
+    STRATEGY_REGISTRY,
+    Strategy,
+    Strawperson,
+    available_strategies,
+    register_strategy,
+    strategy,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Modular",
+    "Monolithic",
+    "Report",
+    "STRATEGY_REGISTRY",
+    "Session",
+    "Strategy",
+    "Strawperson",
+    "VERDICTS",
+    "available_strategies",
+    "is_report",
+    "register_strategy",
+    "strategy",
+    "verify",
+]

@@ -1,0 +1,45 @@
+"""The unified :class:`Report` protocol over every engine's report type.
+
+The three engines keep their detailed report dataclasses
+(:class:`~repro.core.results.ModularReport`,
+:class:`~repro.core.results.MonolithicReport`,
+:class:`~repro.core.strawperson.StrawpersonReport`) — they carry genuinely
+different data — but all three satisfy one structural protocol, so the
+harness, tables and CLI can consume any engine's output without
+special-casing its shape:
+
+* ``verdict`` — ``"pass"``, ``"fail"`` or ``"timeout"``;
+* ``wall_time`` — total wall-clock seconds of the run;
+* ``backend_cache`` — incremental-backend cache counters, or ``None`` for
+  engines/runs that collect none;
+* ``to_json()`` — a JSON-serialisable dict (used for ``BENCH_*.json``
+  trajectories and the harness' machine-readable output).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+#: The verdict vocabulary shared by every report type.
+VERDICTS = ("pass", "fail", "timeout")
+
+
+@runtime_checkable
+class Report(Protocol):
+    """Structural interface satisfied by every engine's report."""
+
+    @property
+    def verdict(self) -> str: ...
+
+    @property
+    def wall_time(self) -> float: ...
+
+    @property
+    def backend_cache(self) -> dict[str, int] | None: ...
+
+    def to_json(self) -> dict[str, object]: ...
+
+
+def is_report(value: object) -> bool:
+    """Whether ``value`` satisfies the :class:`Report` protocol."""
+    return isinstance(value, Report)

@@ -1,0 +1,389 @@
+"""The :class:`Session`: one verification target, one strategy, many runs.
+
+A session binds an annotated network to a :class:`~repro.verify.strategies
+.Strategy` and owns the solver resources the strategy needs — most
+importantly the :class:`~repro.smt.incremental.IncrementalSolver` whose
+lifetime, under the legacy ``check_modular`` API, was implicitly tied to the
+process.  Owning the solver at session granularity is what enables
+cross-run reuse policies the process-global solver cannot express, e.g. the
+``persistent`` backend's learned-clause carry-over across SAT scopes *and*
+across whole runs (a PR 2 follow-up).
+
+Sessions stream: :meth:`Session.stream` is a generator of per-condition
+:class:`~repro.core.results.ConditionResult` events, yielded batch by batch
+(per node, or per symmetry class) as the engine discharges them — the
+harness uses this for progress output, and a ``fail_fast`` consumer can
+simply stop iterating at the first failing event.  Exhausting the stream
+finalizes :attr:`Session.report`; :meth:`Session.run` is the drain-and-
+return convenience used by non-streaming callers.
+
+The legacy ``check_modular``/``check_monolithic``/``check_strawperson``
+functions are deprecation shims over this class and produce identical
+verdicts (their engines *are* these engines).
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Any, Iterator, Sequence
+
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.results import ConditionResult, merge_reports
+from repro.core.symmetry import partition_nodes
+from repro.errors import VerificationError
+from repro.routing.algebra import Network
+from repro.smt.incremental import (
+    IncrementalSolver,
+    process_cache_statistics,
+    subtract_cache_statistics,
+)
+from repro.verify.strategies import Modular, Strategy, Strawperson
+
+
+class Session:
+    """A verification session: a target network under one strategy.
+
+    ``target`` is an :class:`~repro.core.annotations.AnnotatedNetwork` (or,
+    for the strawperson strategy with explicit interfaces, a bare
+    :class:`~repro.routing.algebra.Network`).  ``strategy`` defaults to
+    :class:`~repro.verify.strategies.Modular` with its defaults.
+
+    The session is a context manager; entering it is optional for one-shot
+    use, but closing (or exiting the ``with`` block) releases the
+    session-owned solver, so long-lived processes should prefer::
+
+        with Session(annotated, Modular(symmetry="classes")) as session:
+            report = session.run()
+
+    Runs may be repeated: each :meth:`run`/:meth:`stream` cycle is one full
+    verification pass, and with ``backend="persistent"`` the session-owned
+    solver retains encoded structure *and* carried learned clauses between
+    them (``report.backend_cache["learned_carried"]`` measures the latter).
+    """
+
+    def __init__(
+        self,
+        target: AnnotatedNetwork | Network,
+        strategy: Strategy | None = None,
+        *,
+        solver: IncrementalSolver | None = None,
+    ) -> None:
+        self.target = target
+        self.strategy = strategy if strategy is not None else Modular()
+        if not isinstance(self.strategy, Strategy):
+            raise TypeError(
+                f"strategy must be a repro.verify Strategy, got {type(self.strategy).__name__}"
+            )
+        #: Completed run count (a finalized report increments it).
+        self.runs = 0
+        self._report: Any | None = None
+        if solver is not None and not self.strategy.uses_session_solver:
+            # Facade-only engines never touch the session solver; accepting
+            # one they ignore would be a silent no-op.
+            raise VerificationError(
+                f"the {self.strategy.name!r} strategy does not use a session solver"
+            )
+        self._solver = solver
+        self._owns_solver = False
+        self._closed = False
+        self._active_stream: Iterator[ConditionResult] | None = None
+
+    # -- resources ---------------------------------------------------------------
+
+    @property
+    def annotated(self) -> AnnotatedNetwork:
+        """The annotated target; raises for strategies that need annotations."""
+        if not isinstance(self.target, AnnotatedNetwork):
+            raise VerificationError(
+                f"the {self.strategy.name!r} strategy needs an AnnotatedNetwork target, "
+                f"got {type(self.target).__name__}"
+            )
+        return self.target
+
+    @property
+    def network(self) -> Network:
+        """The underlying network, whatever the target type."""
+        if isinstance(self.target, AnnotatedNetwork):
+            return self.target.network
+        return self.target
+
+    def solver_for(self, strategy: Modular) -> IncrementalSolver | None:
+        """The solver this run's batches are pinned to, if any.
+
+        ``persistent`` backends get a session-owned solver (created once,
+        reused across runs, learned clauses carried across its scopes)
+        unless the caller supplied one — which must then have
+        ``persist_learned`` enabled, or the advertised carry-over would
+        silently not happen.  ``incremental`` backends use the shared
+        per-process solver exactly like the legacy checker when no solver
+        was supplied, and pin batches to a supplied one.  ``fresh`` uses no
+        incremental solver at all, so supplying one is an error rather
+        than a silent no-op.
+        """
+        if self._closed:
+            raise VerificationError("session is closed")
+        if strategy.backend == "fresh":
+            if self._solver is not None:
+                raise VerificationError(
+                    'backend="fresh" builds one SAT instance per condition and '
+                    "cannot use the supplied session solver"
+                )
+            return None
+        if self._solver is not None and strategy.parallel > 1:
+            raise VerificationError(
+                "parallel runs execute batches in worker processes and cannot "
+                "use the supplied session solver; drop the solver or run with "
+                "parallel=1"
+            )
+        if self._solver is None:
+            if strategy.backend == "persistent":
+                self._solver = IncrementalSolver(persist_learned=True)
+                self._owns_solver = True
+                return self._solver
+            return None
+        if strategy.backend == "persistent" and not self._solver.persist_learned:
+            raise VerificationError(
+                'backend="persistent" needs a solver constructed with '
+                "persist_learned=True; the supplied solver would silently drop "
+                "learned clauses at every scope rotation"
+            )
+        return self._solver
+
+    def close(self) -> None:
+        """Release session-owned resources (idempotent)."""
+        if self._active_stream is not None:
+            self._active_stream.close()
+            self._active_stream = None
+        if self._owns_solver:
+            self._solver = None
+            self._owns_solver = False
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- running -----------------------------------------------------------------
+
+    def stream(self, nodes: Sequence[str] | None = None) -> Iterator[ConditionResult]:
+        """One verification run as a stream of per-condition events.
+
+        Events arrive in discharge order (per node, or per symmetry class);
+        parallel runs yield them in one batch once the worker pool
+        completes.  Exhausting the iterator finalizes :attr:`report`.
+        Abandoning the iterator early (e.g. on the first failure) leaves
+        :attr:`report` at the previous run's value.
+
+        At most one stream is live per session: starting a new run
+        deterministically cancels an abandoned in-flight one (its iterator
+        is closed and raises ``StopIteration`` thereafter) — interleaving
+        two runs on the shared solver state would corrupt both runs' scope
+        rotation and cache-delta accounting, and waiting for garbage
+        collection to release an abandoned run would make session reuse
+        timing-dependent.
+        """
+        if self._closed:
+            raise VerificationError("session is closed")
+        if self._active_stream is not None:
+            self._active_stream.close()
+            self._active_stream = None
+        inner = self.strategy.events(self, nodes)
+
+        def guarded() -> Iterator[ConditionResult]:
+            try:
+                yield from inner
+            finally:
+                if self._active_stream is generator:
+                    self._active_stream = None
+
+        generator = guarded()
+        self._active_stream = generator
+        return generator
+
+    def run(self, nodes: Sequence[str] | None = None) -> Any:
+        """Run to completion and return the finalized report."""
+        for _ in self.stream(nodes):
+            pass
+        return self.report
+
+    @property
+    def report(self) -> Any:
+        """The report of the last *completed* run."""
+        if self._report is None:
+            raise VerificationError("no completed run in this session yet")
+        return self._report
+
+    def _finalize(self, report: Any) -> None:
+        self._report = report
+        self.runs += 1
+
+
+def verify(
+    target: AnnotatedNetwork | Network,
+    strategy: Strategy | None = None,
+    nodes: Sequence[str] | None = None,
+) -> Any:
+    """One-shot convenience: run ``strategy`` over ``target`` in a fresh session.
+
+    The unified replacement for the legacy ``check_*`` family::
+
+        verify(annotated)                            # modular, defaults
+        verify(annotated, Modular(symmetry="classes"))
+        verify(annotated, Monolithic(timeout=60))
+        verify(network, Strawperson(interfaces=stable))
+    """
+    with Session(target, strategy) as session:
+        return session.run(nodes=nodes)
+
+
+# ---------------------------------------------------------------------------
+# The modular engine
+# ---------------------------------------------------------------------------
+
+
+def _selected_nodes(
+    annotated: AnnotatedNetwork, nodes: Sequence[str] | None
+) -> tuple[str, ...]:
+    selected = tuple(nodes) if nodes is not None else annotated.nodes
+    for node in selected:
+        if node not in annotated.nodes:
+            raise VerificationError(f"unknown node {node!r}")
+    return selected
+
+
+def modular_events(
+    session: Session, strategy: Modular, nodes: Sequence[str] | None
+) -> Iterator[ConditionResult]:
+    """Algorithm 1 (``CheckMod``) as a streaming engine.
+
+    Node/class scheduling, symmetry partitioning, parallel dispatch, report
+    ordering and cache-statistics collection are identical to the legacy
+    ``check_modular`` — the shim delegates here, and the byte-identical-
+    verdicts test in ``tests/verify/test_session.py`` holds both to it.
+    Batches are yielded as they complete; each batch opens a fresh SAT
+    scope on its backend.
+    """
+    from repro.core.checker import check_class, check_node
+
+    annotated = session.annotated
+    selected = _selected_nodes(annotated, nodes)
+    solver = session.solver_for(strategy)
+    options = strategy.engine_options()
+
+    started = _time.perf_counter()
+    class_count: int | None = None
+    cache_before: dict[str, int] | None = None
+    cache_delta: dict[str, int] | None = None
+    reports = []
+
+    def snapshot() -> dict[str, int]:
+        # Session-owned solvers carry their own counters; otherwise the
+        # shared per-process solver's are the ones the run mutates.
+        return solver.cache_statistics() if solver is not None else process_cache_statistics()
+
+    def checked(check: Any, *arguments: Any) -> Any:
+        """Run one batch; pin the session solver and keep it recoverable.
+
+        The checker only restores backends it acquired itself, so a crash
+        in a batch pinned to the session-owned solver must be recovered
+        here — otherwise the poisoned trail would leak into later batches
+        and runs of this session.
+        """
+        if solver is None:
+            return check(*arguments, **options)
+        solver.new_scope()
+        try:
+            return check(*arguments, solver=solver, **options)
+        except BaseException:
+            solver.recover()
+            raise
+
+    if strategy.symmetry == "off":
+        if strategy.parallel > 1:
+            # Worker-process cache counters are not observable from here, so
+            # no snapshot is taken (the report carries backend_cache=None).
+            from repro.core.parallel import check_nodes_in_parallel
+
+            reports = check_nodes_in_parallel(
+                annotated, selected, jobs=strategy.parallel, **options
+            )
+            for report in reports:
+                yield from report.results
+        else:
+            if strategy.incremental:
+                cache_before = snapshot()
+            for node in selected:
+                report = checked(check_node, annotated, node)
+                reports.append(report)
+                yield from report.results
+    else:
+        classes = partition_nodes(
+            annotated, selected, delay=strategy.delay, conditions=strategy.conditions
+        )
+        class_count = len(classes)
+        if strategy.symmetry == "spot-check":
+            rng = random.Random(strategy.spot_check_seed)
+            for symmetry_class in classes:
+                if len(symmetry_class) > 1:
+                    symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
+        if strategy.parallel > 1:
+            from repro.core.parallel import check_classes_in_parallel
+
+            reports, cache_delta = check_classes_in_parallel(
+                annotated, classes, jobs=strategy.parallel, **options
+            )
+            for report in reports:
+                yield from report.results
+        else:
+            if strategy.incremental:
+                cache_before = snapshot()
+            for symmetry_class in classes:
+                class_reports = checked(check_class, annotated, symmetry_class)
+                reports.extend(class_reports)
+                for report in class_reports:
+                    yield from report.results
+        # Classes interleave the node order; restore the selection order so
+        # reports (and counterexample enumeration) are reproducible.
+        order = {node: index for index, node in enumerate(selected)}
+        reports.sort(key=lambda report: order[report.node])
+
+    if cache_before is not None:
+        cache_delta = subtract_cache_statistics(snapshot(), cache_before)
+    session._finalize(
+        merge_reports(
+            reports,
+            wall_time=_time.perf_counter() - started,
+            parallelism=max(1, strategy.parallel),
+            symmetry=strategy.symmetry,
+            symmetry_classes=class_count,
+            backend_cache=cache_delta,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# The strawperson engine
+# ---------------------------------------------------------------------------
+
+
+def strawperson_events(
+    session: Session, strategy: Strawperson, nodes: Sequence[str] | None
+) -> Iterator[ConditionResult]:
+    """The §2.2 procedure as a streaming engine (one event per node)."""
+    from repro.core.strawperson import erased_interfaces, run_strawperson
+
+    if nodes is not None:
+        raise VerificationError("the strawperson engine always checks the whole network")
+    if strategy.interfaces is not None:
+        interfaces = strategy.interfaces
+    else:
+        interfaces = erased_interfaces(session.annotated)
+    report = run_strawperson(session.network, interfaces)
+    for node, passed in report.node_results.items():
+        yield ConditionResult(
+            node=node, condition="stable (strawperson)", holds=passed, duration=0.0
+        )
+    session._finalize(report)

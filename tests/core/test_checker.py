@@ -4,6 +4,7 @@ import pytest
 
 from repro import core
 from repro.errors import VerificationError
+from repro.verify import Modular, Strawperson, verify
 from repro.routing import build_running_example
 from repro.symbolic import SymBool
 
@@ -48,7 +49,7 @@ class TestRunningExample:
         properties = {node: core.always_true() for node in "nwvd"}
         properties["e"] = core.globally(lambda r: r.is_none | r.payload.tag)
         annotated = core.AnnotatedNetwork(example.network, figure7_interfaces(), properties)
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed
         core.assert_verified(report)  # must not raise
 
@@ -57,13 +58,13 @@ class TestRunningExample:
         properties = {node: core.always_true() for node in "nwvd"}
         properties["e"] = core.finally_(3, core.globally(lambda r: r.is_some))
         annotated = core.AnnotatedNetwork(example.network, figure8_interfaces(), properties)
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed
 
     def test_figure9_bad_interfaces_rejected_at_time_zero(self):
         example = build_running_example("symbolic")
         annotated = core.annotate(example.network, figure9_interfaces())
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert not report.passed
         assert set(report.failed_nodes) == {"v", "d"}
         for counterexample in report.counterexamples():
@@ -79,7 +80,7 @@ class TestRunningExample:
         interfaces["v"] = core.globally(lambda r: spurious(r) | r.is_none)
         interfaces["d"] = core.globally(lambda r: spurious(r) | r.is_none)
         annotated = core.annotate(example.network, interfaces)
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert not report.passed
         kinds = {c.condition for c in report.counterexamples()}
         assert core.INDUCTIVE in kinds
@@ -87,7 +88,7 @@ class TestRunningExample:
     def test_figure10_ghost_state_verifies(self):
         from repro.networks import reachability_from_destination
 
-        report = core.check_modular(reachability_from_destination())
+        report = verify(reachability_from_destination())
         assert report.passed
 
     def test_strawperson_accepts_what_temporal_rejects(self):
@@ -100,9 +101,9 @@ class TestRunningExample:
             "d": spurious,
             "e": lambda r: r.is_none,
         }
-        strawperson = core.check_strawperson(example.network, stable_interfaces)
+        strawperson = verify(example.network, Strawperson(interfaces=stable_interfaces))
         assert strawperson.passed  # the unsound §2.2 procedure accepts them
-        temporal = core.check_modular(core.annotate(example.network, figure9_interfaces()))
+        temporal = verify(core.annotate(example.network, figure9_interfaces()))
         assert not temporal.passed  # the temporal procedure does not
 
     def test_strawperson_reports_counterexamples_for_honest_failures(self):
@@ -114,7 +115,7 @@ class TestRunningExample:
             "d": lambda r: SymBool.true(),
             "e": lambda r: SymBool.true(),
         }
-        report = core.check_strawperson(example.network, stable_interfaces)
+        report = verify(example.network, Strawperson(interfaces=stable_interfaces))
         assert not report.passed
         assert "v" in report.failed_nodes
         assert report.counterexamples
@@ -122,7 +123,7 @@ class TestRunningExample:
     def test_strawperson_requires_full_interfaces(self):
         example = build_running_example("none")
         with pytest.raises(VerificationError):
-            core.check_strawperson(example.network, {"n": lambda r: SymBool.true()})
+            verify(example.network, Strawperson(interfaces={"n": lambda r: SymBool.true()}))
 
 
 class TestCheckerMechanics:
@@ -142,21 +143,21 @@ class TestCheckerMechanics:
         with pytest.raises(VerificationError):
             core.check_node(annotated, "v", conditions=("bogus",))
 
-    def test_check_modular_subset_of_nodes(self):
+    def test_verify_subset_of_nodes(self):
         example = build_running_example("symbolic")
         annotated = core.annotate(example.network, figure7_interfaces())
-        report = core.check_modular(annotated, nodes=["v", "d"])
+        report = verify(annotated, nodes=["v", "d"])
         assert set(report.node_reports) == {"v", "d"}
         with pytest.raises(VerificationError):
-            core.check_modular(annotated, nodes=["nope"])
+            verify(annotated, nodes=["nope"])
 
     def test_parallel_matches_sequential(self):
         example = build_running_example("symbolic")
         properties = {node: core.always_true() for node in "nwvd"}
         properties["e"] = core.finally_(3, core.globally(lambda r: r.is_some))
         annotated = core.AnnotatedNetwork(example.network, figure8_interfaces(), properties)
-        sequential = core.check_modular(annotated, jobs=1)
-        parallel = core.check_modular(annotated, jobs=4)
+        sequential = verify(annotated, Modular(parallel=1))
+        parallel = verify(annotated, Modular(parallel=4))
         assert sequential.passed == parallel.passed is True
         assert set(sequential.node_reports) == set(parallel.node_reports)
         assert parallel.parallelism == 4
@@ -164,7 +165,7 @@ class TestCheckerMechanics:
     def test_report_statistics(self):
         example = build_running_example("symbolic")
         annotated = core.annotate(example.network, figure7_interfaces())
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.total_node_time >= report.max_node_time >= report.p99_node_time >= 0
         assert report.median_node_time <= report.p99_node_time
         assert "PASS" in report.summary()

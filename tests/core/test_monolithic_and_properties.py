@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import core
+from repro.verify import Monolithic, verify
 from repro.routing import (
     build_running_example,
     path_topology,
@@ -33,7 +34,7 @@ class TestMonolithic:
             interfaces={node: core.always_true() for node in example.network.topology.nodes},
             properties=properties,
         )
-        report = core.check_monolithic(annotated)
+        report = verify(annotated, Monolithic())
         assert report.passed
         assert "PASS" in report.summary()
 
@@ -57,7 +58,7 @@ class TestMonolithic:
             interfaces={node: core.always_true() for node in topology.nodes},
             properties={node: core.globally(lambda r: r.is_some) for node in topology.nodes},
         )
-        report = core.check_monolithic(annotated)
+        report = verify(annotated, Monolithic())
         assert not report.passed
         assert report.counterexample is not None
         assert report.counterexample["n1"] is None
@@ -75,7 +76,7 @@ class TestMonolithic:
             example.network,
             interfaces={node: core.always_true() for node in example.network.topology.nodes},
         )
-        report = core.check_monolithic(annotated, timeout=0.001)
+        report = verify(annotated, Monolithic(timeout=0.001))
         assert report.timed_out
         assert "TIMEOUT" in report.summary()
 
@@ -136,7 +137,7 @@ class TestSoundnessTheorem:
     def test_simulated_states_satisfy_verified_interfaces(self, name, topology, destination):
         network = shortest_path_network(topology, destination)
         annotated = _reachability_annotation(network, destination, topology.diameter())
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed, f"{name}: {report.failed_nodes}"
 
         trace = simulate(network)
@@ -184,7 +185,7 @@ class TestCompletenessTheorem:
             interfaces={node: exact_interface(node) for node in topology.nodes},
             properties={node: core.always_true() for node in topology.nodes},
         )
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed, f"{name}: {report.failed_nodes}"
 
 
@@ -205,7 +206,7 @@ class TestReachabilityAgreement:
         network = reachability_network(topology, destination)
         diameter = topology.diameter()
         annotated = _reachability_annotation(network, destination, diameter)
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         stable = simulate(network).stable_state()
         assert report.passed
         assert all(value is True for value in stable.values())

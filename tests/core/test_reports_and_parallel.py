@@ -14,6 +14,7 @@ from repro.core.results import (
 )
 from repro import core
 from repro.routing import path_topology, shortest_path_network
+from repro.verify import Modular, verify
 
 
 class TestCounterexampleRendering:
@@ -130,7 +131,7 @@ class TestParallelRunner:
         annotated = core.annotate(
             network, {node: core.globally(lambda r: r.is_some) for node in topology.nodes}
         )
-        report = core.check_modular(annotated, jobs=2)
+        report = verify(annotated, Modular(parallel=2))
         assert not report.passed
         assert report.counterexamples()
 
@@ -181,3 +182,21 @@ class TestParallelRunner:
                 conditions=core.CONDITION_KINDS,
                 fail_fast=True,
             )
+
+
+class TestReportJson:
+    def test_failing_monolithic_report_serialises(self):
+        import json
+
+        report = MonolithicReport(
+            passed=False,
+            wall_time=1.0,
+            counterexample={
+                "node": {"communities": frozenset({"down", "up"}), "lp": 100, "path": (1, 2)}
+            },
+            symbolics={"hijack": frozenset({"x"})},
+        )
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["verdict"] == "fail"
+        assert payload["counterexample"]["node"]["communities"] == ["down", "up"]
+        assert payload["symbolics"]["hijack"] == ["x"]

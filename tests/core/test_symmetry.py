@@ -4,11 +4,12 @@ import pytest
 
 from repro import core
 from repro.errors import VerificationError
-from repro.networks.benchmarks import build_benchmark
+from repro.networks import registry
 from repro.networks.fattree import Fattree, fattree_symmetry_key
 from repro.routing import build_running_example, path_topology, shortest_path_network
 from repro.smt.incremental import process_solver, reset_process_solver
 from repro.smt.sat.solver import CdclSolver
+from repro.verify import Modular, verify
 
 
 @pytest.fixture(autouse=True)
@@ -23,7 +24,7 @@ def _verdicts_for_modes(annotated, modes=("off", "classes", "spot-check"), **kwa
     reports = {}
     for mode in modes:
         reset_process_solver()
-        reports[mode] = core.check_modular(annotated, symmetry=mode, **kwargs)
+        reports[mode] = verify(annotated, Modular(symmetry=mode, **kwargs))
         verdicts[mode] = core.condition_verdicts(reports[mode])
     return verdicts, reports
 
@@ -45,7 +46,7 @@ class TestFattreeHints:
 
     @pytest.mark.parametrize("policy", ["reach", "valley_freedom", "hijack"])
     def test_sp_benchmarks_agree_across_all_modes(self, policy):
-        instance = build_benchmark(policy, 4)
+        instance = registry.build(f"fattree/{policy}", pods=4).raw
         assert instance.annotated.symmetry_key is not None
         verdicts, reports = _verdicts_for_modes(instance.annotated)
         assert verdicts["off"] == verdicts["classes"] == verdicts["spot-check"]
@@ -60,19 +61,19 @@ class TestFattreeHints:
         assert reports["classes"].symmetry_classes <= 7
 
     def test_report_metadata_and_summary(self):
-        instance = build_benchmark("reach", 4)
-        report = core.check_modular(instance.annotated, symmetry="classes")
+        instance = registry.build("fattree/reach", pods=4).raw
+        report = verify(instance.annotated, Modular(symmetry="classes"))
         assert report.symmetry == "classes"
         assert report.conditions_checked == report.conditions_discharged + report.conditions_propagated
         assert "symmetry=classes" in report.summary()
         assert report.backend_cache is not None
         assert report.backend_cache["scopes"] == report.symmetry_classes
-        off = core.check_modular(instance.annotated, symmetry="off", incremental=False)
+        off = verify(instance.annotated, Modular(symmetry="off", backend="fresh"))
         assert off.backend_cache is None
         assert "symmetry" not in off.summary()
 
     def test_propagated_counterexamples_name_member_neighbours(self):
-        instance = build_benchmark("reach", 4)
+        instance = registry.build("fattree/reach", pods=4).raw
         fattree, destination = instance.fattree, instance.destination
         # Too-tight witness times: structurally symmetric, and failing.
         interfaces = {
@@ -88,9 +89,9 @@ class TestFattreeHints:
             {node: core.always_true() for node in fattree.nodes},
             symmetry_key=instance.annotated.symmetry_key,
         )
-        off = core.check_modular(broken, symmetry="off")
+        off = verify(broken, Modular(symmetry="off"))
         reset_process_solver()
-        classes = core.check_modular(broken, symmetry="classes")
+        classes = verify(broken, Modular(symmetry="classes"))
         assert not off.passed
         assert off.failed_nodes == classes.failed_nodes
         assert core.condition_verdicts(off) == core.condition_verdicts(classes)
@@ -119,7 +120,7 @@ class TestFattreeHints:
             symmetry_key=lambda node: "all-the-same",
         )
         with pytest.raises(VerificationError, match="in-degree"):
-            core.check_modular(annotated, symmetry="classes")
+            verify(annotated, Modular(symmetry="classes"))
 
     def test_wrong_hint_caught_by_spot_check(self):
         topology = path_topology(3)
@@ -135,15 +136,15 @@ class TestFattreeHints:
             symmetry_key=lambda node: "ends" if node in ("n0", "n2") else None,
         )
         with pytest.raises(VerificationError, match="spot-check"):
-            core.check_modular(annotated, symmetry="spot-check", spot_check_seed=0)
+            verify(annotated, Modular(symmetry="spot-check", spot_check_seed=0))
         # classes mode silently propagates the (wrong) verdict — that is the
         # documented trust model for hints; spot-check is the guard.
 
     def test_spot_check_selection_is_deterministic(self):
-        instance = build_benchmark("reach", 4)
-        first = core.check_modular(instance.annotated, symmetry="spot-check", spot_check_seed=7)
+        instance = registry.build("fattree/reach", pods=4).raw
+        first = verify(instance.annotated, Modular(symmetry="spot-check", spot_check_seed=7))
         reset_process_solver()
-        second = core.check_modular(instance.annotated, symmetry="spot-check", spot_check_seed=7)
+        second = verify(instance.annotated, Modular(symmetry="spot-check", spot_check_seed=7))
         picked_first = [
             node
             for node, report in first.node_reports.items()
@@ -173,7 +174,7 @@ class TestGenericCanonicalHash:
         assert verdicts["off"] == verdicts["classes"] == verdicts["spot-check"]
 
     def test_all_pairs_fattree_uses_generic_path(self):
-        instance = build_benchmark("reach", 4, all_pairs=True)
+        instance = registry.build("fattree/reach", pods=4, all_pairs=True).raw
         assert instance.annotated.symmetry_key is None
         verdicts, reports = _verdicts_for_modes(instance.annotated, modes=("off", "classes"))
         assert verdicts["off"] == verdicts["classes"]
@@ -182,7 +183,7 @@ class TestGenericCanonicalHash:
         assert reports["classes"].symmetry_classes <= len(instance.annotated.nodes)
 
     def test_partition_is_deterministic_and_ordered(self):
-        instance = build_benchmark("reach", 4, all_pairs=True)
+        instance = registry.build("fattree/reach", pods=4, all_pairs=True).raw
         first = core.partition_nodes(instance.annotated, instance.annotated.nodes)
         second = core.partition_nodes(instance.annotated, instance.annotated.nodes)
         assert [c.members for c in first] == [c.members for c in second]
@@ -196,10 +197,10 @@ class TestGenericCanonicalHash:
 
 class TestParallelClasses:
     def test_parallel_matches_sequential_with_symmetry(self):
-        instance = build_benchmark("reach", 4)
-        sequential = core.check_modular(instance.annotated, symmetry="classes", jobs=1)
+        instance = registry.build("fattree/reach", pods=4).raw
+        sequential = verify(instance.annotated, Modular(symmetry="classes", parallel=1))
         reset_process_solver()
-        parallel = core.check_modular(instance.annotated, symmetry="classes", jobs=4)
+        parallel = verify(instance.annotated, Modular(symmetry="classes", parallel=4))
         assert core.condition_verdicts(sequential) == core.condition_verdicts(parallel)
         assert tuple(parallel.node_reports) == instance.annotated.nodes
         assert parallel.parallelism == 4
@@ -209,7 +210,7 @@ class TestParallelClasses:
 
 class TestSolverRecovery:
     def test_crashed_check_does_not_poison_later_nodes(self, monkeypatch):
-        instance = build_benchmark("reach", 4)
+        instance = registry.build("fattree/reach", pods=4).raw
         solver = process_solver()
         calls = {"n": 0}
         original = CdclSolver.solve
@@ -225,16 +226,16 @@ class TestSolverRecovery:
             core.check_node(instance.annotated, instance.annotated.nodes[0])
         # The shared solver was recovered: frames balanced, fresh scope.
         assert len(solver._frames) == 1
-        report = core.check_modular(instance.annotated)
+        report = verify(instance.annotated)
         assert report.passed
         reset_process_solver()
-        fresh = core.check_modular(instance.annotated, incremental=False)
+        fresh = verify(instance.annotated, Modular(backend="fresh"))
         assert core.condition_verdicts(report) == core.condition_verdicts(fresh)
 
     def test_crash_leaves_caller_pinned_solver_untouched(self, monkeypatch):
         from repro.smt.incremental import IncrementalSolver
 
-        instance = build_benchmark("reach", 4)
+        instance = registry.build("fattree/reach", pods=4).raw
         pinned = IncrementalSolver()
         import repro.smt as smt
 
@@ -266,6 +267,5 @@ class TestSolverRecovery:
         assert solver.check().is_sat
 
     def test_unknown_symmetry_mode_rejected(self):
-        instance = build_benchmark("reach", 4)
-        with pytest.raises(VerificationError, match="symmetry mode"):
-            core.check_modular(instance.annotated, symmetry="bogus")
+        with pytest.raises(ValueError, match="symmetry mode"):
+            Modular(symmetry="bogus")

@@ -6,8 +6,8 @@ import sys
 import pytest
 
 from repro import core
-from repro.core import check_strawperson
-from repro.networks import build_benchmark, build_wan_benchmark
+from repro.networks import build_wan_benchmark, registry
+from repro.verify import Strawperson, verify
 from repro.config import WanParameters
 from repro.routing import build_running_example, simulate
 from repro.symbolic import SymBool
@@ -26,15 +26,17 @@ class TestSection2Narrative:
         #    that exclude v's real route (execution interference, §2.2).
         open_example = build_running_example("symbolic")
         spurious = lambda r: r.is_some & (r.payload.lp == 200) & ~r.payload.tag  # noqa: E731
-        strawperson = check_strawperson(
+        strawperson = verify(
             open_example.network,
-            {
-                "n": lambda r: SymBool.true(),
-                "w": lambda r: r.is_some & (r.payload.lp == 100),
-                "v": spurious,
-                "d": spurious,
-                "e": lambda r: r.is_none,
-            },
+            Strawperson(
+                interfaces={
+                    "n": lambda r: SymBool.true(),
+                    "w": lambda r: r.is_some & (r.payload.lp == 100),
+                    "v": spurious,
+                    "d": spurious,
+                    "e": lambda r: r.is_none,
+                }
+            ),
         )
         assert strawperson.passed
         assert trace.stable_state()["v"]["lp"] == 100  # ... yet the real route has lp 100
@@ -50,7 +52,7 @@ class TestSection2Narrative:
                 "e": core.globally(lambda r: r.is_none),
             },
         )
-        assert not core.check_modular(bad).passed
+        assert not verify(bad).passed
 
         # 4. ... and accepts the Figure 8 interfaces, proving reachability.
         no_route = lambda r: r.is_none  # noqa: E731
@@ -69,7 +71,7 @@ class TestSection2Narrative:
                 "e": core.finally_(3, core.globally(lambda r: r.is_some)),
             },
         )
-        assert core.check_modular(good).passed
+        assert verify(good).passed
 
 
 class TestEvaluationSmoke:
@@ -79,8 +81,8 @@ class TestEvaluationSmoke:
         """The headline shape: per-node checks stay small as the network grows."""
         small = build_wan_benchmark(WanParameters(internal_routers=4, external_peers=4))
         large = build_wan_benchmark(WanParameters(internal_routers=4, external_peers=12))
-        small_report = core.check_modular(small.annotated)
-        large_report = core.check_modular(large.annotated)
+        small_report = verify(small.annotated)
+        large_report = verify(large.annotated)
         assert small_report.passed and large_report.passed
         # The per-node median stays within a small factor even though the
         # network tripled in external peers.
@@ -91,7 +93,7 @@ class TestEvaluationSmoke:
         from repro.routing import Network
         from repro.routing.bgp import BgpPolicy
 
-        benchmark = build_benchmark("hijack", 4)
+        benchmark = registry.build("fattree/hijack", pods=4).raw
         network = benchmark.network
 
         def broken_transfer(edge):
@@ -112,7 +114,7 @@ class TestEvaluationSmoke:
             interfaces={n: benchmark.annotated.interface(n) for n in benchmark.annotated.nodes},
             properties={n: benchmark.annotated.node_property(n) for n in benchmark.annotated.nodes},
         )
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert not report.passed
         assert any(
             HIJACKER in counterexample.neighbor_routes

@@ -4,7 +4,8 @@ import pytest
 
 from repro import core
 from repro.errors import BenchmarkError
-from repro.networks import HIJACKER, build_benchmark
+from repro.networks import HIJACKER, registry
+from repro.verify import verify
 from repro.networks.benchmarks import COMPACT_WIDTHS
 from repro.routing import simulate
 
@@ -12,11 +13,11 @@ from repro.routing import simulate
 class TestConstruction:
     def test_unknown_policy_rejected(self):
         with pytest.raises(BenchmarkError):
-            build_benchmark("no-such-policy", 4)
+            registry.build("fattree/no-such-policy", pods=4)
 
     @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
     def test_single_destination_metadata(self, policy):
-        benchmark = build_benchmark(policy, 4)
+        benchmark = registry.build(f"fattree/{policy}", pods=4).raw
         assert benchmark.policy == policy
         assert not benchmark.all_pairs
         assert benchmark.destination is not None
@@ -26,13 +27,13 @@ class TestConstruction:
 
     @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
     def test_all_pairs_metadata(self, policy):
-        benchmark = build_benchmark(policy, 4, all_pairs=True)
+        benchmark = registry.build(f"fattree/{policy}", pods=4, all_pairs=True).raw
         assert benchmark.all_pairs
         assert benchmark.destination is None
         assert benchmark.network.symbolics  # the symbolic destination (and more)
 
     def test_hijacker_node_attached_to_all_cores(self):
-        benchmark = build_benchmark("hijack", 4)
+        benchmark = registry.build("fattree/hijack", pods=4).raw
         topology = benchmark.network.topology
         for core_node in benchmark.fattree.core_nodes:
             assert topology.has_edge(HIJACKER, core_node)
@@ -40,32 +41,32 @@ class TestConstruction:
 
     def test_custom_widths_are_used(self):
         widths = dict(COMPACT_WIDTHS, prefix_width=6)
-        benchmark = build_benchmark("reach", 4, widths=widths)
+        benchmark = registry.build("fattree/reach", pods=4, widths=widths).raw
         assert benchmark.family.payload.fields["prefix"].width == 6
 
 
 class TestVerification:
     @pytest.mark.parametrize("policy", ["reach", "length", "valley_freedom", "hijack"])
     def test_single_destination_benchmarks_verify(self, policy):
-        benchmark = build_benchmark(policy, 4)
-        report = core.check_modular(benchmark.annotated)
+        benchmark = registry.build(f"fattree/{policy}", pods=4).raw
+        report = verify(benchmark.annotated)
         assert report.passed, report.counterexamples()[:1]
 
     @pytest.mark.parametrize("policy", ["reach", "valley_freedom"])
     def test_all_pairs_benchmarks_verify(self, policy):
-        benchmark = build_benchmark(policy, 4, all_pairs=True)
-        report = core.check_modular(benchmark.annotated)
+        benchmark = registry.build(f"fattree/{policy}", pods=4, all_pairs=True).raw
+        report = verify(benchmark.annotated)
         assert report.passed, report.counterexamples()[:1]
 
     def test_reach_simulation_agrees(self):
-        benchmark = build_benchmark("reach", 4)
+        benchmark = registry.build("fattree/reach", pods=4).raw
         stable = simulate(benchmark.network).stable_state()
         assert all(route is not None for route in stable.values())
         destination_route = stable[benchmark.destination]
         assert destination_route["as_path_length"] == 0
 
     def test_length_simulation_within_bounds(self):
-        benchmark = build_benchmark("length", 4)
+        benchmark = registry.build("fattree/length", pods=4).raw
         stable = simulate(benchmark.network).stable_state()
         destination = benchmark.destination
         for node, route in stable.items():
@@ -75,7 +76,7 @@ class TestVerification:
             )
 
     def test_valley_freedom_simulation_has_no_down_tags_on_adjacent_nodes(self):
-        benchmark = build_benchmark("valley_freedom", 4)
+        benchmark = registry.build("fattree/valley_freedom", pods=4).raw
         stable = simulate(benchmark.network).stable_state()
         destination = benchmark.destination
         for node, route in stable.items():
@@ -84,7 +85,7 @@ class TestVerification:
                 assert "down" not in route["communities"]
 
     def test_reach_with_too_strong_property_fails(self):
-        benchmark = build_benchmark("reach", 4)
+        benchmark = registry.build("fattree/reach", pods=4).raw
         nodes = benchmark.annotated.nodes
         too_strong = {
             node: core.finally_(1, core.globally(lambda r: r.is_some)) for node in nodes
@@ -94,7 +95,7 @@ class TestVerification:
             interfaces={node: benchmark.annotated.interface(node) for node in nodes},
             properties=too_strong,
         )
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert not report.passed
 
     def test_broken_valley_freedom_policy_is_caught(self):
@@ -103,7 +104,7 @@ class TestVerification:
         from repro.routing.bgp import BgpPolicy
         from repro.networks.benchmarks import DOWN_COMMUNITY
 
-        benchmark = build_benchmark("valley_freedom", 4)
+        benchmark = registry.build("fattree/valley_freedom", pods=4).raw
         fattree = benchmark.fattree
         network = benchmark.network
 
@@ -126,5 +127,5 @@ class TestVerification:
             interfaces={n: benchmark.annotated.interface(n) for n in benchmark.annotated.nodes},
             properties={n: benchmark.annotated.node_property(n) for n in benchmark.annotated.nodes},
         )
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert not report.passed

@@ -4,6 +4,7 @@ import pytest
 
 from repro import core
 from repro.config import BTE_COMMUNITY, WanParameters
+from repro.verify import Modular, Monolithic, verify
 from repro.networks import (
     build_wan_benchmark,
     block_to_external_predicate,
@@ -45,19 +46,19 @@ class TestWanBenchmark:
 
     def test_block_to_external_verifies_modularly(self):
         benchmark = build_wan_benchmark(SMALL)
-        report = core.check_modular(benchmark.annotated)
+        report = verify(benchmark.annotated)
         assert report.passed
 
     def test_block_to_external_verifies_monolithically(self):
         benchmark = build_wan_benchmark(SMALL)
-        report = core.check_monolithic(benchmark.annotated, timeout=120)
+        report = verify(benchmark.annotated, Monolithic(timeout=120))
         assert report.passed or report.timed_out
 
     def test_buggy_configuration_is_rejected_with_counterexample(self):
         benchmark = build_wan_benchmark(
             WanParameters(internal_routers=4, external_peers=4, buggy=True)
         )
-        report = core.check_modular(benchmark.annotated)
+        report = verify(benchmark.annotated)
         assert not report.passed
         assert "peer0" in report.failed_nodes
         counterexample = report.counterexamples()[0]
@@ -90,16 +91,16 @@ class TestGhostState:
         assert rows["no-transit"].bits(5, 6) == 2
 
     def test_reachability_from_destination_verifies(self):
-        report = core.check_modular(reachability_from_destination())
+        report = verify(reachability_from_destination())
         assert report.passed
 
     def test_unordered_waypoint_verifies(self):
         annotated = unordered_waypoint_network()
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed, report.counterexamples()[:1]
 
     def test_no_transit_verifies(self):
-        report = core.check_modular(no_transit_network())
+        report = verify(no_transit_network())
         assert report.passed, report.counterexamples()[:1]
 
 
@@ -115,7 +116,7 @@ class TestSymmetryFallback:
         baseline = None
         for mode in ("off", "classes", "spot-check"):
             reset_process_solver()
-            report = core.check_modular(annotated, symmetry=mode)
+            report = verify(annotated, Modular(symmetry=mode))
             verdicts = core.condition_verdicts(report)
             if baseline is None:
                 baseline = verdicts
@@ -133,9 +134,9 @@ class TestSymmetryFallback:
 
         buggy = WanParameters(internal_routers=4, external_peers=4, buggy=True)
         annotated = build_wan_benchmark(buggy).annotated
-        off = core.check_modular(annotated, symmetry="off")
+        off = verify(annotated, Modular(symmetry="off"))
         reset_process_solver()
-        classes = core.check_modular(annotated, symmetry="classes")
+        classes = verify(annotated, Modular(symmetry="classes"))
         assert not off.passed
         assert off.failed_nodes == classes.failed_nodes
         assert core.condition_verdicts(off) == core.condition_verdicts(classes)

@@ -6,6 +6,7 @@ from repro import core, smt
 from repro.errors import SolverError
 from repro.smt.incremental import IncrementalSolver, process_solver, reset_process_solver
 from repro.smt.sat.solver import SatStatus
+from repro.verify import Modular, verify
 
 
 @pytest.fixture(autouse=True)
@@ -178,18 +179,18 @@ class TestVerificationConditionReuse:
     """Solver reuse across each node's three conditions matches fresh solvers."""
 
     def test_fattree_verdicts_match_fresh(self):
-        from repro.networks.benchmarks import build_benchmark
+        from repro.networks import registry
 
-        instance = build_benchmark("reach", 4)
-        fresh = core.check_modular(instance.annotated, incremental=False)
-        incremental = core.check_modular(instance.annotated, incremental=True)
+        instance = registry.build("fattree/reach", pods=4)
+        fresh = verify(instance.annotated, Modular(backend="fresh"))
+        incremental = verify(instance.annotated, Modular(backend="incremental"))
         assert fresh.passed and incremental.passed
         assert _condition_verdicts(fresh) == _condition_verdicts(incremental)
 
     def test_fattree_failing_property_matches_fresh(self):
-        from repro.networks.benchmarks import build_benchmark
+        from repro.networks import registry
 
-        instance = build_benchmark("reach", 4)
+        instance = registry.build("fattree/reach", pods=4)
         annotated = instance.annotated
         # Break one node's interface so a counterexample must be produced.
         broken = core.annotate(
@@ -203,8 +204,8 @@ class TestVerificationConditionReuse:
                 for index, node in enumerate(annotated.nodes)
             },
         )
-        fresh = core.check_modular(broken, incremental=False)
-        incremental = core.check_modular(broken, incremental=True)
+        fresh = verify(broken, Modular(backend="fresh"))
+        incremental = verify(broken, Modular(backend="incremental"))
         assert not fresh.passed and not incremental.passed
         assert fresh.failed_nodes == incremental.failed_nodes
         assert _condition_verdicts(fresh) == _condition_verdicts(incremental)
@@ -216,8 +217,8 @@ class TestVerificationConditionReuse:
 
         params = WanParameters(internal_routers=4, external_peers=4)
         benchmark = build_wan_benchmark(params)
-        fresh = core.check_modular(benchmark.annotated, incremental=False)
-        incremental = core.check_modular(benchmark.annotated, incremental=True)
+        fresh = verify(benchmark.annotated, Modular(backend="fresh"))
+        incremental = verify(benchmark.annotated, Modular(backend="incremental"))
         assert fresh.passed and incremental.passed
         assert _condition_verdicts(fresh) == _condition_verdicts(incremental)
 
@@ -227,8 +228,8 @@ class TestVerificationConditionReuse:
 
         params = WanParameters(internal_routers=4, external_peers=4, buggy=True)
         benchmark = build_wan_benchmark(params)
-        fresh = core.check_modular(benchmark.annotated, incremental=False)
-        incremental = core.check_modular(benchmark.annotated, incremental=True)
+        fresh = verify(benchmark.annotated, Modular(backend="fresh"))
+        incremental = verify(benchmark.annotated, Modular(backend="incremental"))
         assert not fresh.passed and not incremental.passed
         assert fresh.failed_nodes == incremental.failed_nodes
 
@@ -246,7 +247,7 @@ class TestVerificationConditionReuse:
             network, {node: core.globally(lambda r: r.is_some) for node in topology.nodes}
         )
         with pytest.raises(VerificationError, match="reserved prefix"):
-            core.check_modular(annotated)
+            verify(annotated)
 
     def test_awkward_node_names_do_not_alias_query_routes(self):
         # Names differing only in characters the fresh-name sanitiser used to
@@ -270,24 +271,58 @@ class TestVerificationConditionReuse:
         condition = inductive_condition(annotated, "a;b")
         route_names = set(condition.neighbor_routes)
         assert route_names == {"a:b", "a#b"}
-        report = core.check_modular(annotated)
+        report = verify(annotated)
         assert report.passed
-        fresh = core.check_modular(annotated, incremental=False)
+        fresh = verify(annotated, Modular(backend="fresh"))
         assert _condition_verdicts(fresh) == _condition_verdicts(report)
 
     def test_incremental_encodes_fewer_variables(self):
-        from repro.networks.benchmarks import build_benchmark
+        from repro.networks import registry
 
-        instance = build_benchmark("reach", 4)
+        instance = registry.build("fattree/reach", pods=4)
         fresh_before = smt.GLOBAL_STATISTICS.snapshot()
-        core.check_modular(instance.annotated, incremental=False)
+        verify(instance.annotated, Modular(backend="fresh"))
         fresh_stats = smt.GLOBAL_STATISTICS.since(fresh_before)
 
         incremental_before = smt.GLOBAL_STATISTICS.snapshot()
-        core.check_modular(instance.annotated, incremental=True)
-        core.check_modular(instance.annotated, incremental=True)
+        verify(instance.annotated, Modular(backend="incremental"))
+        verify(instance.annotated, Modular(backend="incremental"))
         incremental_stats = smt.GLOBAL_STATISTICS.since(incremental_before)
 
         # Two full incremental runs encode fewer CNF variables than one
         # fresh run: the second run is pure cache hits.
         assert 0 < incremental_stats.variables < fresh_stats.variables
+
+
+class TestLearnedClausePersistence:
+    def test_learned_units_carry_across_scopes(self):
+        solver = IncrementalSolver(persist_learned=True)
+        a = smt.bool_var("carry_a")
+        solver.add(a)
+        assert solver.check().is_sat
+        # Conflict analysis stores length-1 resolvents in the CDCL core's
+        # pending-units list (assertions themselves are guarded decisions,
+        # so nothing else reaches the root trail); plant one to pin down
+        # the harvest path deterministically.
+        local = next(iter(solver._var_map.values()))
+        solver._sat._pending_units.append(local)
+        solver.new_scope()
+        assert solver.cache_statistics()["learned_carry_size"] > 0
+        # Re-checking the same structure maps the variable again, so the
+        # carried unit becomes relevant and is injected into the new scope.
+        assert solver.check().is_sat
+        assert solver.cache_statistics()["learned_carried"] > 0
+
+    def test_carried_clauses_never_change_answers(self):
+        plain = IncrementalSolver()
+        persistent = IncrementalSolver(persist_learned=True)
+        x = smt.bv_var("carry_x", 5)
+        queries = [
+            smt.bv_ult(x, smt.bv_const(9, 5)),
+            smt.and_(smt.bv_ult(x, smt.bv_const(9, 5)), smt.bv_ugt(x, smt.bv_const(20, 5))),
+            smt.bv_ugt(x, smt.bv_const(3, 5)),
+        ]
+        for query in queries:
+            for solver in (plain, persistent):
+                solver.new_scope()
+            assert plain.check(query).status == persistent.check(query).status

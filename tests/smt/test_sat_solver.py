@@ -311,3 +311,14 @@ class TestAgainstBruteForce:
             cdcl.add_clause(list(clause))
             brute.add_clause(list(clause))
         assert cdcl.solve() == brute.solve()
+
+
+class TestRootImpliedLiterals:
+    def test_units_and_their_propagations_are_reported(self):
+        from repro.smt.sat.solver import CdclSolver
+
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        assert solver.solve().name == "SAT"
+        assert {1, 2} <= set(solver.root_implied_literals())

@@ -1,0 +1,324 @@
+"""Tests for :class:`repro.verify.Session`: streaming, reports, persistence."""
+
+import warnings
+
+import pytest
+
+from repro import core
+from repro.core.results import condition_verdicts
+from repro.errors import VerificationError
+from repro.networks import registry
+from repro.routing import build_running_example
+from repro.smt.incremental import reset_process_solver
+from repro.verify import (
+    Modular,
+    Monolithic,
+    Report,
+    Session,
+    Strawperson,
+    is_report,
+    verify,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_solver():
+    reset_process_solver()
+    yield
+    reset_process_solver()
+
+
+def _figure8_annotated():
+    example = build_running_example("symbolic")
+    no_route = lambda r: r.is_none  # noqa: E731
+    tagged = lambda r: r.is_some & r.payload.tag & (r.payload.lp == 100)  # noqa: E731
+    interfaces = {
+        "n": core.always_true(),
+        "w": core.globally(lambda r: r.is_some & (r.payload.lp == 100)),
+        "v": core.until(1, no_route, core.globally(tagged)),
+        "d": core.until(2, no_route, core.globally(tagged)),
+        "e": core.finally_(3, core.globally(lambda r: r.is_some)),
+    }
+    return core.annotate(example.network, interfaces)
+
+
+class TestByteIdenticalVerdicts:
+    def test_session_matches_legacy_check_modular_on_k4_spreach(self):
+        """Acceptance: Session(Modular(symmetry="classes")) ≡ legacy checker."""
+        benchmark = registry.build("fattree/reach", pods=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = core.check_modular(benchmark.annotated, symmetry="classes")
+        reset_process_solver()
+        with Session(benchmark.annotated, Modular(symmetry="classes")) as session:
+            modern = session.run()
+        assert condition_verdicts(legacy) == condition_verdicts(modern)
+        assert legacy.passed and modern.passed
+        assert modern.symmetry_classes == legacy.symmetry_classes
+        assert tuple(modern.node_reports) == tuple(legacy.node_reports)
+
+    @pytest.mark.parametrize("backend", ["incremental", "persistent", "fresh"])
+    def test_backends_agree_on_verdicts(self, backend):
+        benchmark = registry.build("fattree/reach", pods=4)
+        baseline = verify(benchmark.annotated, Modular(backend="fresh"))
+        reset_process_solver()
+        report = verify(benchmark.annotated, Modular(backend=backend))
+        assert condition_verdicts(report) == condition_verdicts(baseline)
+
+
+class TestPersistentSessions:
+    def test_learned_clauses_carry_across_scopes_and_runs(self):
+        """Acceptance: a reused persistent session retains learned clauses."""
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            first = session.run()
+            second = session.run()
+        assert first.passed and second.passed
+        assert condition_verdicts(first) == condition_verdicts(second)
+        # Cross-scope learned-clause retention is visible in the cache
+        # counters of both runs, and the second run starts from the carry
+        # set the first run built up.
+        assert first.backend_cache["learned_carried"] > 0
+        assert second.backend_cache["learned_carried"] > 0
+
+    def test_persistent_second_run_encodes_nothing_new(self):
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            session.run()
+            second = session.run()
+        # All encoding work was done in run 1; run 2 is pure cache hits.
+        assert second.backend_cache["tseitin_misses"] == 0
+        assert second.backend_cache["guard_misses"] == 0
+
+    def test_supplied_solver_must_match_backend(self):
+        from repro.smt.incremental import IncrementalSolver
+
+        benchmark = registry.build("ghost/reach")
+        # fresh cannot use a solver at all.
+        with pytest.raises(VerificationError, match="fresh"):
+            Session(
+                benchmark.annotated, Modular(backend="fresh"), solver=IncrementalSolver()
+            ).run()
+        # persistent needs persist_learned=True or the carry silently dies.
+        with pytest.raises(VerificationError, match="persist_learned"):
+            Session(
+                benchmark.annotated,
+                Modular(backend="persistent"),
+                solver=IncrementalSolver(),
+            ).run()
+
+    def test_supplied_solver_rejected_for_facade_engines(self):
+        from repro.smt.incremental import IncrementalSolver
+
+        benchmark = registry.build("ghost/reach")
+        for strategy in (Monolithic(), Strawperson()):
+            with pytest.raises(VerificationError, match="does not use a session solver"):
+                Session(benchmark.annotated, strategy, solver=IncrementalSolver())
+
+    def test_supplied_solver_rejected_for_parallel_runs(self):
+        from repro.smt.incremental import IncrementalSolver
+
+        benchmark = registry.build("fattree/reach", pods=4)
+        with pytest.raises(VerificationError, match="worker processes"):
+            Session(
+                benchmark.annotated, Modular(parallel=2), solver=IncrementalSolver()
+            ).run()
+
+    def test_supplied_solver_is_pinned_for_incremental_backend(self):
+        from repro.smt.incremental import IncrementalSolver
+
+        benchmark = registry.build("ghost/reach")
+        solver = IncrementalSolver()
+        with Session(benchmark.annotated, Modular(), solver=solver) as session:
+            report = session.run()
+        assert report.passed
+        # The run's encoding work landed on the supplied solver, and the
+        # report's counters were measured from it.
+        statistics = solver.cache_statistics()
+        assert statistics["tseitin_misses"] > 0
+        assert report.backend_cache["tseitin_misses"] == statistics["tseitin_misses"]
+
+    def test_carry_size_gauge_is_not_differenced(self):
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            session.run()
+            second = session.run()
+        # The gauge reports the live carry-set size, not a per-run delta —
+        # a second run with a full, stable carry set must not read as zero.
+        assert second.backend_cache["learned_carry_size"] > 0
+
+    def test_closed_session_rejects_runs(self):
+        benchmark = registry.build("ghost/reach")
+        session = Session(benchmark.annotated, Modular(backend="persistent"))
+        session.run()
+        session.close()
+        with pytest.raises(VerificationError, match="closed"):
+            session.run()
+
+    def test_crash_recovery_keeps_later_runs_sound(self, monkeypatch):
+        from repro.smt.sat.solver import CdclSolver
+
+        benchmark = registry.build("fattree/reach", pods=4)
+        baseline = verify(benchmark.annotated, Modular(backend="fresh"))
+        calls = {"n": 0}
+        original = CdclSolver.solve
+
+        def explode_once(self, *args, **kwargs):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise RuntimeError("interrupted mid-solve")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(CdclSolver, "solve", explode_once)
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            with pytest.raises(RuntimeError, match="interrupted mid-solve"):
+                session.run()
+            report = session.run()
+        assert condition_verdicts(report) == condition_verdicts(baseline)
+
+
+class TestStreaming:
+    def test_stream_yields_every_condition_then_finalizes(self):
+        annotated = _figure8_annotated()
+        with Session(annotated) as session:
+            events = list(session.stream())
+            report = session.report
+        assert len(events) == report.conditions_checked
+        assert {event.node for event in events} == set(annotated.nodes)
+        assert all(event.condition in core.CONDITION_KINDS for event in events)
+
+    def test_stream_supports_early_exit_on_failure(self):
+        example = build_running_example("symbolic")
+        interfaces = {
+            node: core.globally(lambda r: r.is_none) for node in example.network.topology.nodes
+        }
+        annotated = core.annotate(example.network, interfaces)
+        with Session(annotated) as session:
+            for event in session.stream():
+                if not event.holds:
+                    break
+            else:  # pragma: no cover - the run must fail
+                pytest.fail("expected a failing event")
+            # Abandoning the stream leaves no finalized report.
+            with pytest.raises(VerificationError, match="no completed run"):
+                session.report
+
+    def test_symmetry_streams_propagated_events(self):
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Modular(symmetry="classes")) as session:
+            events = list(session.stream())
+        propagated = [event for event in events if event.propagated_from is not None]
+        assert propagated, "class members should receive propagated verdicts"
+
+    def test_new_run_cancels_an_abandoned_stream(self):
+        benchmark = registry.build("ghost/reach")
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            abandoned = session.stream()
+            next(abandoned)
+            # Starting a new run cancels the in-flight one deterministically
+            # (no waiting for garbage collection) instead of corrupting the
+            # shared solver state by interleaving.
+            report = session.run()
+            assert report.passed and session.runs == 1
+            with pytest.raises(StopIteration):
+                next(abandoned)
+
+    def test_runs_counter_tracks_completed_runs(self):
+        benchmark = registry.build("ghost/reach")
+        with Session(benchmark.annotated) as session:
+            assert session.runs == 0
+            session.run()
+            assert session.runs == 1
+            session.run()
+            assert session.runs == 2
+
+
+class TestOtherEngines:
+    def test_monolithic_session(self):
+        annotated = _figure8_annotated()
+        with Session(annotated, Monolithic(timeout=60)) as session:
+            events = list(session.stream())
+            report = session.report
+        assert report.passed and not report.timed_out
+        assert len(events) == 1 and events[0].condition == "monolithic"
+
+    def test_strawperson_with_explicit_interfaces(self):
+        from repro.symbolic import SymBool
+
+        example = build_running_example("symbolic")
+        spurious = lambda r: r.is_some & (r.payload.lp == 200) & ~r.payload.tag  # noqa: E731
+        interfaces = {
+            "n": lambda r: SymBool.true(),
+            "w": lambda r: r.is_some & (r.payload.lp == 100),
+            "v": spurious,
+            "d": spurious,
+            "e": lambda r: r.is_none,
+        }
+        report = verify(example.network, Strawperson(interfaces=interfaces))
+        assert report.passed  # the §2.2 unsoundness, reproduced via the new API
+
+    def test_strawperson_defaults_to_erased_interfaces(self):
+        annotated = _figure8_annotated()
+        with Session(annotated, Strawperson()) as session:
+            events = list(session.stream())
+            report = session.report
+        assert {event.node for event in events} == set(annotated.nodes)
+        assert set(report.node_results) == set(annotated.nodes)
+
+    def test_strawperson_without_annotations_needs_interfaces(self):
+        example = build_running_example("symbolic")
+        with pytest.raises(VerificationError, match="AnnotatedNetwork"):
+            verify(example.network, Strawperson())
+
+
+class TestReportProtocol:
+    def test_all_reports_satisfy_the_protocol(self):
+        annotated = _figure8_annotated()
+        modular = verify(annotated)
+        monolithic = verify(annotated, Monolithic(timeout=60))
+        strawperson = verify(annotated, Strawperson())
+        for report in (modular, monolithic, strawperson):
+            assert is_report(report), type(report).__name__
+            assert isinstance(report, Report)
+            assert report.verdict in ("pass", "fail", "timeout")
+            assert report.wall_time >= 0
+            payload = report.to_json()
+            assert payload["verdict"] == report.verdict
+            assert "backend_cache" in payload
+
+    def test_timeout_verdict(self):
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Monolithic(timeout=0.001)) as session:
+            events = list(session.stream())
+            report = session.report
+        assert report.verdict == "timeout"
+        assert report.to_json()["timed_out"] is True
+        # The streamed event distinguishes a timeout from a counterexample.
+        assert events[0].condition == "monolithic (timeout)"
+
+    def test_modular_to_json_round_trips(self):
+        import json
+
+        benchmark = registry.build("ghost/reach")
+        report = verify(benchmark.annotated, Modular(symmetry="classes"))
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["engine"] == "modular"
+        assert payload["symmetry"] == "classes"
+        assert set(payload["nodes"]) == set(benchmark.annotated.nodes)
+
+
+class TestSessionValidation:
+    def test_non_strategy_rejected(self):
+        benchmark = registry.build("ghost/reach")
+        with pytest.raises(TypeError, match="Strategy"):
+            Session(benchmark.annotated, strategy="modular")
+
+    def test_unknown_node_rejected(self):
+        benchmark = registry.build("ghost/reach")
+        with pytest.raises(VerificationError, match="unknown node"):
+            verify(benchmark.annotated, nodes=["nope"])
+
+    def test_monolithic_rejects_node_subsets(self):
+        benchmark = registry.build("ghost/reach")
+        with pytest.raises(VerificationError, match="whole network"):
+            verify(benchmark.annotated, Monolithic(), nodes=["nope"])

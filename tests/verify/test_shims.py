@@ -1,0 +1,113 @@
+"""The legacy entry points must warn, delegate, and agree with the new API."""
+
+import pytest
+
+from repro import core
+from repro.core.results import condition_verdicts
+from repro.errors import BenchmarkError, VerificationError
+from repro.networks import registry
+from repro.networks.benchmarks import build_benchmark
+from repro.routing import build_running_example
+from repro.smt.incremental import reset_process_solver
+from repro.symbolic import SymBool
+from repro.verify import Modular, Monolithic, Strawperson, verify
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_solver():
+    reset_process_solver()
+    yield
+    reset_process_solver()
+
+
+def _ghost():
+    return registry.build("ghost/reach").annotated
+
+
+class TestCheckModularShim:
+    def test_warns_and_matches_verify(self):
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning, match="check_modular is deprecated"):
+            legacy = core.check_modular(annotated, symmetry="classes", jobs=1)
+        reset_process_solver()
+        modern = verify(annotated, Modular(symmetry="classes"))
+        assert condition_verdicts(legacy) == condition_verdicts(modern)
+
+    def test_incremental_false_maps_to_fresh_backend(self):
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning):
+            legacy = core.check_modular(annotated, incremental=False)
+        assert legacy.backend_cache is None
+        assert legacy.passed
+
+    def test_legacy_jobs_zero_still_runs_sequentially(self):
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning):
+            report = core.check_modular(annotated, jobs=0)
+        assert report.passed
+        assert report.parallelism == 1
+
+    def test_legacy_error_type_preserved(self):
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(VerificationError, match="symmetry mode"):
+                core.check_modular(annotated, symmetry="bogus")
+
+
+class TestCheckMonolithicShim:
+    def test_warns_and_matches_verify(self):
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning, match="check_monolithic is deprecated"):
+            legacy = core.check_monolithic(annotated, timeout=60)
+        modern = verify(annotated, Monolithic(timeout=60))
+        assert legacy.passed == modern.passed
+        assert legacy.timed_out == modern.timed_out
+
+    def test_exhausted_budget_still_returns_a_report(self):
+        # The legacy API accepted timeout <= 0 and returned whatever report
+        # the solver produced before the deadline check fired; the strategy
+        # validation rejects that value, but the shim must not raise.
+        annotated = _ghost()
+        with pytest.warns(DeprecationWarning):
+            report = core.check_monolithic(annotated, timeout=0)
+        assert report.verdict in ("fail", "timeout")
+        assert report.wall_time >= 0
+
+
+class TestCheckStrawpersonShim:
+    def test_warns_and_matches_verify(self):
+        example = build_running_example("symbolic")
+        interfaces = {
+            node: (lambda r: SymBool.true()) for node in example.network.topology.nodes
+        }
+        with pytest.warns(DeprecationWarning, match="check_strawperson is deprecated"):
+            legacy = core.check_strawperson(example.network, interfaces)
+        modern = verify(example.network, Strawperson(interfaces=interfaces))
+        assert legacy.node_results == modern.node_results
+
+
+class TestBuildBenchmarkShim:
+    def test_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="build_benchmark is deprecated"):
+            legacy = build_benchmark("reach", 4)
+        modern = registry.build("fattree/reach", pods=4).raw
+        assert legacy.name == modern.name == "SpReach"
+        assert legacy.node_count == modern.node_count
+
+    def test_unknown_policy_still_a_benchmark_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(BenchmarkError, match="unknown policy"):
+                build_benchmark("no-such-policy", 4)
+
+
+class TestSweepSettingsShim:
+    def test_warns_and_converts_to_strategies(self):
+        from repro.harness import SweepSettings
+
+        with pytest.warns(DeprecationWarning, match="SweepSettings"):
+            settings = SweepSettings(
+                monolithic_timeout=30, jobs=2, symmetry="classes", run_monolithic=False
+            )
+        modular, monolithic = settings.strategies()
+        assert modular == Modular(symmetry="classes", parallel=2)
+        assert monolithic is None
