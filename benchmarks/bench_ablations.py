@@ -237,6 +237,72 @@ def test_benchmark_symmetry_modes():
     assert rows["classes"]["seconds"] < rows["off"]["seconds"]
 
 
+STOP_MODES = {
+    "full": Modular(),
+    "stop": Modular(stop_on_failure=True),
+    "stop-parallel": Modular(stop_on_failure=True, parallel=2),
+}
+
+
+def test_benchmark_stop_on_failure_early_termination():
+    """Ablation row: run-level stop_on_failure on a failure-injected fattree.
+
+    One interface of the ``k=4`` Reach benchmark is replaced by an
+    unsatisfiable one; the full run keeps checking every node, while a
+    ``stop_on_failure`` run stops scheduling after the first failing batch
+    (parallel runs stop dispatching queued work and terminate the pool).
+    The stop rows must check strictly fewer conditions than the full row
+    while reporting a failing condition the full row also reports.
+    """
+    from repro.networks.benchmarks import inject_interface_failure
+
+    instance = registry.build("fattree/reach", pods=ABLATION_PODS)
+    injected, _ = inject_interface_failure(instance.annotated)
+
+    rows = {}
+    for mode, strategy in STOP_MODES.items():
+        reset_process_solver()
+        started = time.perf_counter()
+        report = verify(injected, strategy)
+        rows[mode] = {"report": report, "seconds": time.perf_counter() - started}
+        reset_process_solver()
+
+    header = (
+        f"{'mode':<14} {'total [s]':>10} {'checked':>8} {'skipped':>8} "
+        f"{'stopped':>8} {'failed nodes':>13}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for mode, row in rows.items():
+        report = row["report"]
+        print(
+            f"{mode:<14} {row['seconds']:>10.3f} {report.conditions_checked:>8} "
+            f"{report.conditions_skipped:>8} {str(report.stopped_early):>8} "
+            f"{len(report.failed_nodes):>13}"
+        )
+
+    full = rows["full"]["report"]
+    full_failures = {
+        (result.node, result.condition)
+        for node_report in full.node_reports.values()
+        for result in node_report.results
+        if not result.holds
+    }
+    assert not full.passed and not full.stopped_early
+    for mode in ("stop", "stop-parallel"):
+        report = rows[mode]["report"]
+        assert report.stopped_early and not report.passed, mode
+        assert report.conditions_checked < full.conditions_checked, mode
+        assert report.conditions_skipped > 0, mode
+        failing = {
+            (result.node, result.condition)
+            for node_report in report.node_reports.values()
+            for result in node_report.results
+            if not result.holds
+        }
+        assert failing and failing <= full_failures, mode
+
+
 def test_benchmark_enumeration_backend(benchmark):
     """The naive alternative: enumerate every input assignment and evaluate."""
     from itertools import product

@@ -1,0 +1,137 @@
+"""Fast parallel-streaming smoke check for CI (and a JSON artifact).
+
+Runs a small fattree benchmark under ``Modular(parallel=N)`` with a
+timestamped observer and asserts the stream is *live*: the first
+``ConditionResult`` must arrive well before the worker pool completes (a
+barrier-style engine delivers every event in one burst at the end).  Also
+checks the streamed verdicts match a sequential run, and that a
+failure-injected ``stop_on_failure`` run terminates early — checking
+strictly fewer conditions while reporting a failing condition the full run
+also reports::
+
+    PYTHONPATH=src python benchmarks/parallel_smoke.py --pods 4 --jobs 2 --out parallel-streaming.json
+
+Exits non-zero on any violated property, so a regression back to
+barrier-style streaming (or a stop knob that stops nothing) fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro.core.results import condition_verdicts
+from repro.networks import registry
+from repro.networks.benchmarks import inject_interface_failure
+from repro.smt.incremental import reset_process_solver
+from repro.verify import Modular, Session, verify
+
+#: The first event must arrive in the first fraction of the run — generous
+#: enough for scheduler noise on CI, far below the 1.0 a barrier produces.
+LIVENESS_FRACTION = 0.75
+
+
+def run_streaming_smoke(pods: int, jobs: int) -> tuple[bool, dict]:
+    """Stream a parallel run with timestamps; check liveness and verdicts."""
+    instance = registry.build("fattree/reach", pods=pods)
+
+    reset_process_solver()
+    sequential = verify(instance.annotated, Modular(parallel=1))
+    reset_process_solver()
+
+    arrivals: list[float] = []
+    with Session(instance.annotated, Modular(parallel=jobs)) as session:
+        started = time.perf_counter()
+        for _ in session.stream():
+            arrivals.append(time.perf_counter() - started)
+        total = time.perf_counter() - started
+        report = session.report
+
+    first_fraction = arrivals[0] / total if total > 0 else 1.0
+    live = first_fraction < LIVENESS_FRACTION
+    identical = condition_verdicts(report) == condition_verdicts(sequential)
+    payload = {
+        "benchmark": instance.name,
+        "pods": pods,
+        "jobs": jobs,
+        "events": len(arrivals),
+        "first_event_s": round(arrivals[0], 3),
+        "total_s": round(total, 3),
+        "first_event_fraction": round(first_fraction, 3),
+        "live": live,
+        "verdicts_identical_to_sequential": identical,
+        "backend_cache": report.backend_cache,
+    }
+    print(
+        f"{instance.name}: {len(arrivals)} events over {total:.3f}s with jobs={jobs}; "
+        f"first event at {arrivals[0]:.3f}s "
+        f"({100 * first_fraction:.0f}% of the run) — "
+        f"{'live' if live else 'BARRIER-STYLE'}"
+    )
+    return live and identical and report.passed, payload
+
+
+def run_stop_on_failure_smoke(pods: int, jobs: int) -> tuple[bool, dict]:
+    """Failure-injected run: stop_on_failure must terminate early."""
+    instance = registry.build("fattree/reach", pods=pods)
+    injected, poisoned = inject_interface_failure(instance.annotated)
+
+    reset_process_solver()
+    full = verify(injected, Modular(parallel=jobs))
+    reset_process_solver()
+    stopped = verify(injected, Modular(parallel=jobs, stop_on_failure=True))
+    reset_process_solver()
+
+    early = (
+        stopped.stopped_early
+        and not stopped.passed
+        and stopped.conditions_checked < full.conditions_checked
+        and stopped.conditions_skipped > 0
+        and set(stopped.failed_nodes) <= set(full.failed_nodes)
+    )
+    payload = {
+        "poisoned_node": poisoned,
+        "full_conditions_checked": full.conditions_checked,
+        "stop_conditions_checked": stopped.conditions_checked,
+        "stop_conditions_skipped": stopped.conditions_skipped,
+        "stopped_early": stopped.stopped_early,
+        "ok": early,
+    }
+    print(
+        f"stop-on-failure: {stopped.conditions_checked}/{full.conditions_checked} "
+        f"conditions checked, {stopped.conditions_skipped} skipped "
+        f"({'early stop ok' if early else 'DID NOT STOP EARLY'})"
+    )
+    return early, payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="parallel streaming smoke check")
+    parser.add_argument("--pods", type=int, default=4, help="fattree pod count (default: 4)")
+    parser.add_argument("--jobs", type=int, default=2, help="worker processes (default: 2)")
+    parser.add_argument("--out", default=None, help="write the smoke JSON to this path")
+    arguments = parser.parse_args(argv)
+
+    live_ok, live_payload = run_streaming_smoke(arguments.pods, arguments.jobs)
+    stop_ok, stop_payload = run_stop_on_failure_smoke(arguments.pods, arguments.jobs)
+    payload = {
+        "streaming": live_payload,
+        "stop_on_failure": stop_payload,
+        "ok": live_ok and stop_ok,
+    }
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.out}")
+    if not (live_ok and stop_ok):
+        print("parallel streaming smoke FAILED", file=sys.stderr)
+        return 1
+    print("parallel streaming smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

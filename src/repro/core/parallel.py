@@ -1,4 +1,4 @@
-"""Process-pool execution of per-node and per-class checks.
+"""Streaming process-pool execution of per-node and per-class checks.
 
 Node checks share no state, so they parallelise trivially.  Annotated
 networks hold closures (transfer functions, interfaces) that are not
@@ -9,31 +9,50 @@ the pool is created, every forked worker inherits it, and only an index or
 node name travels over the queue.  The returned :class:`NodeReport` objects
 contain plain data and pickle fine.
 
+Work items are dispatched **streamingly** rather than barrier-style:
+:func:`iter_node_batches` and :func:`iter_class_batches` are generators that
+yield one ``(index, reports, cache_delta)`` batch the moment its worker
+finishes, in completion order.  The caller re-sorts final reports to
+deterministic node order by the submission index, so results are
+reproducible while progress is live.  At most one work item per worker
+process is in flight: each completion dispatches the next queued item, so a
+consumer that *closes* the iterator (run-level fail-fast, an abandoned
+stream) stops dispatch immediately — queued items are never started, the
+in-flight remainder is terminated, and the pool's processes are reaped
+before ``GeneratorExit`` propagates.  No worker is ever orphaned.
+
 Each forked worker keeps its own per-process incremental SMT solver
 (:func:`repro.smt.process_solver`), so the batches a worker checks share
-encoded structure and learned clauses exactly as in sequential mode.  With
-symmetry reduction, work is partitioned by *equivalence class* rather than
-by node: one work item is one whole class, so a worker encodes one
+encoded structure and learned clauses exactly as in sequential mode.
+Because those per-worker counters are not observable from the parent, every
+work item measures its own cache-counter delta (the ``_with_delta``
+protocol below) and ships it home with the reports; the parent sums the
+deltas into the run's ``backend_cache`` aggregate.  The sequential fallback
+measures deltas the same way, so degraded runs report identical statistics
+for identical inputs.
+
+With symmetry reduction, work is partitioned by *equivalence class* rather
+than by node: one work item is one whole class, so a worker encodes one
 structural shape, discharges it once, and propagates verdicts to the class
 members without its caches ever being evicted by unrelated structure —
 batch-aware partitioning in the sense of batch-parallel data structures.
-Class work items are dispatched with ``chunksize=1`` in class order, which
-both balances the (very uneven) class sizes and keeps scheduling
-deterministic in its results: reports are reassembled in class order and
-re-sorted to node order by the caller.
+Class work items are dispatched in class order, which balances the (very
+uneven) class sizes; the caller re-sorts member reports to node order.
 
 On platforms without ``fork``, or when the pool itself cannot be set up, the
 checker degrades to sequential execution with a :class:`RuntimeWarning` —
-the results are identical, only the wall-clock time differs.  Failures
-*inside* a worker (a crashing check, a keyboard interrupt) propagate to the
-caller; masking them behind a silent sequential rerun would hide real bugs.
+the results (reports *and* cache deltas) are identical, only the wall-clock
+time differs.  Failures *inside* a worker (a crashing check, a keyboard
+interrupt) propagate to the caller; masking them behind a silent sequential
+rerun would hide real bugs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import warnings
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.core.annotations import AnnotatedNetwork
 from repro.core.results import NodeReport
@@ -52,20 +71,41 @@ _ACTIVE_CLASSES: Sequence[SymmetryClass] | None = None
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+#: One completed work item: the submission index (node or class position),
+#: the member reports, and the worker's incremental-backend cache delta for
+#: the item (``{}`` with ``incremental=False``).
+Batch = tuple[int, list[NodeReport], dict[str, int]]
 
-def _check_one(node: str) -> NodeReport:
-    """Worker entry point: check a single node of the inherited network."""
+
+def _check_node_with_delta(
+    annotated: AnnotatedNetwork,
+    node: str,
+    delay: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    incremental: bool,
+) -> tuple[list[NodeReport], dict[str, int]]:
+    """Check one node and measure this process's cache-counter delta.
+
+    The single definition of the node-batch delta protocol — used verbatim
+    by the forked worker entry point and the sequential fallback, so both
+    report identical ``backend_cache`` statistics for identical inputs.
+    """
     from repro.core.checker import check_node
 
-    assert _ACTIVE_NETWORK is not None and _ACTIVE_OPTIONS is not None
-    return check_node(
-        _ACTIVE_NETWORK,
+    before = process_cache_statistics() if incremental else {}
+    report = check_node(
+        annotated,
         node,
-        delay=_ACTIVE_OPTIONS["delay"],
-        conditions=_ACTIVE_OPTIONS["conditions"],
-        fail_fast=_ACTIVE_OPTIONS["fail_fast"],
-        incremental=_ACTIVE_OPTIONS["incremental"],
+        delay=delay,
+        conditions=conditions,
+        fail_fast=fail_fast,
+        incremental=incremental,
     )
+    delta = (
+        subtract_cache_statistics(process_cache_statistics(), before) if incremental else {}
+    )
+    return [report], delta
 
 
 def _check_class_with_delta(
@@ -78,9 +118,9 @@ def _check_class_with_delta(
 ) -> tuple[list[NodeReport], dict[str, int]]:
     """Check one class and measure this process's cache-counter delta.
 
-    The single definition of the delta protocol — used verbatim by the
-    forked worker entry point and the sequential fallback, so both report
-    identical ``backend_cache`` statistics for identical inputs.
+    The single definition of the class-batch delta protocol — used verbatim
+    by the forked worker entry point and the sequential fallback, so both
+    report identical ``backend_cache`` statistics for identical inputs.
     """
     from repro.core.checker import check_class
 
@@ -99,13 +139,21 @@ def _check_class_with_delta(
     return reports, delta
 
 
-def _check_one_class(index: int) -> tuple[list[NodeReport], dict[str, int]]:
-    """Worker entry point: check one symmetry class of the inherited network.
+def _check_one(node: str) -> tuple[list[NodeReport], dict[str, int]]:
+    """Worker entry point: check a single node of the inherited network."""
+    assert _ACTIVE_NETWORK is not None and _ACTIVE_OPTIONS is not None
+    return _check_node_with_delta(
+        _ACTIVE_NETWORK,
+        node,
+        delay=_ACTIVE_OPTIONS["delay"],
+        conditions=_ACTIVE_OPTIONS["conditions"],
+        fail_fast=_ACTIVE_OPTIONS["fail_fast"],
+        incremental=_ACTIVE_OPTIONS["incremental"],
+    )
 
-    Returns the member reports plus the worker's incremental-backend cache
-    delta for this class, so the parent can aggregate statistics it cannot
-    observe directly (each worker has its own process solver).
-    """
+
+def _check_one_class(index: int) -> tuple[list[NodeReport], dict[str, int]]:
+    """Worker entry point: check one symmetry class of the inherited network."""
     assert _ACTIVE_NETWORK is not None and _ACTIVE_OPTIONS is not None
     assert _ACTIVE_CLASSES is not None
     return _check_class_with_delta(
@@ -118,16 +166,32 @@ def _check_one_class(index: int) -> tuple[list[NodeReport], dict[str, int]]:
     )
 
 
-def _run_pool(
+def _iter_pool(
     annotated: AnnotatedNetwork,
     classes: Sequence[SymmetryClass] | None,
     options: dict,
     jobs: int,
     items: Sequence[_T],
     worker: Callable[[_T], _R],
-    sequential: Callable[[], list[_R]],
-) -> list[_R]:
-    """Map ``worker`` over ``items`` on a fork pool, or fall back sequentially."""
+    sequential_one: Callable[[_T], _R],
+) -> Iterator[tuple[int, _R]]:
+    """Yield ``(index, worker(item))`` in completion order, streamingly.
+
+    The core dispatcher: submits one work item per worker process with
+    ``apply_async`` and blocks on a completion queue fed by the pool's
+    result-handler callbacks; each completion dispatches the next queued
+    item and is yielded immediately.  Closing the generator (or any
+    exception, including a worker crash propagating) terminates the pool —
+    queued items are never started and no worker is orphaned.  Falls back to
+    in-process execution (same yield protocol) when ``fork`` or the pool is
+    unavailable.
+
+    Known limitation (shared with the ``pool.map`` predecessor): a worker
+    killed *hard* (SIGKILL/OOM) loses its in-flight task — the pool respawns
+    the process but no callback ever fires, so the completion wait blocks
+    until the consumer interrupts it.  Python exceptions inside a worker are
+    not affected: they arrive via ``error_callback`` and propagate.
+    """
     global _ACTIVE_NETWORK, _ACTIVE_OPTIONS, _ACTIVE_CLASSES
 
     try:
@@ -136,14 +200,17 @@ def _run_pool(
         context = None
 
     if context is None or jobs <= 1 or len(items) <= 1:
-        return sequential()
+        for index, item in enumerate(items):
+            yield index, sequential_one(item)
+        return
 
     _ACTIVE_NETWORK = annotated
     _ACTIVE_OPTIONS = options
     _ACTIVE_CLASSES = classes
     try:
+        processes = min(jobs, len(items))
         try:
-            pool = context.Pool(processes=min(jobs, len(items)))
+            pool = context.Pool(processes=processes)
         except OSError as error:
             # Pool *setup* can fail on exotic platforms (no fork, no
             # semaphores); degrading to sequential checking is safe there.
@@ -154,15 +221,164 @@ def _run_pool(
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return sequential()
-        with pool:
-            # chunksize=1 balances uneven work items; pool.map still returns
-            # results in submission order, keeping the output deterministic.
-            return pool.map(worker, items, chunksize=1)
+            _ACTIVE_NETWORK = None
+            _ACTIVE_OPTIONS = None
+            _ACTIVE_CLASSES = None
+            for index, item in enumerate(items):
+                yield index, sequential_one(item)
+            return
+
+        # Completions land here from the pool's result-handler thread; the
+        # third element is the worker's exception, if it raised.
+        completions: queue.SimpleQueue = queue.SimpleQueue()
+
+        def submit(index: int) -> None:
+            pool.apply_async(
+                worker,
+                (items[index],),
+                callback=lambda outcome, index=index: completions.put((index, outcome, None)),
+                error_callback=lambda error, index=index: completions.put((index, None, error)),
+            )
+
+        next_index = 0
+        in_flight = 0
+        try:
+            # Prime exactly one item per worker; every completion dispatches
+            # one more.  Keeping the in-flight window at the worker count is
+            # what makes closing the iterator an immediate stop: nothing
+            # queued inside the pool is waiting behind the running items.
+            while next_index < len(items) and in_flight < processes:
+                submit(next_index)
+                next_index += 1
+                in_flight += 1
+            while in_flight:
+                index, outcome, error = completions.get()
+                in_flight -= 1
+                if error is not None:
+                    raise error
+                if next_index < len(items):
+                    submit(next_index)
+                    next_index += 1
+                    in_flight += 1
+                yield index, outcome
+        except BaseException:
+            # Worker crash, run-level fail-fast, consumer abandonment
+            # (GeneratorExit) or an interrupt mid-priming: stop dispatching,
+            # kill the in-flight remainder, reap every worker before
+            # propagating.
+            pool.terminate()
+            pool.join()
+            raise
+        else:
+            pool.close()
+            pool.join()
     finally:
         _ACTIVE_NETWORK = None
         _ACTIVE_OPTIONS = None
         _ACTIVE_CLASSES = None
+
+
+def _options(
+    delay: int, conditions: Sequence[str], fail_fast: bool, incremental: bool
+) -> dict:
+    return {
+        "delay": delay,
+        "conditions": tuple(conditions),
+        "fail_fast": fail_fast,
+        "incremental": incremental,
+    }
+
+
+def _stream(
+    pooled: Iterator[tuple[int, tuple[list[NodeReport], dict[str, int]]]]
+) -> Iterator[Batch]:
+    """Re-shape the dispatcher's pairs into :data:`Batch` triples.
+
+    Closes the inner generator explicitly on every exit path: pool teardown
+    must not depend on refcount finalization of the wrapped generator (the
+    documented stop-dispatch guarantee).
+    """
+    try:
+        for index, (reports, delta) in pooled:
+            yield index, reports, delta
+    finally:
+        pooled.close()
+
+
+def iter_node_batches(
+    annotated: AnnotatedNetwork,
+    nodes: Sequence[str],
+    delay: int,
+    jobs: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    incremental: bool = True,
+) -> Iterator[Batch]:
+    """Stream per-node check batches using up to ``jobs`` forked workers.
+
+    Yields ``(node_index, [report], cache_delta)`` in completion order;
+    ``node_index`` is the node's position in ``nodes``, so the caller can
+    restore the deterministic selection order after the fact.  Closing the
+    iterator stops dispatching queued nodes and terminates the pool.
+    """
+    options = _options(delay, conditions, fail_fast, incremental)
+
+    def sequential_one(node: str) -> tuple[list[NodeReport], dict[str, int]]:
+        return _check_node_with_delta(annotated, node, **options)
+
+    return _stream(
+        _iter_pool(annotated, None, options, jobs, tuple(nodes), _check_one, sequential_one)
+    )
+
+
+def iter_class_batches(
+    annotated: AnnotatedNetwork,
+    classes: Sequence[SymmetryClass],
+    delay: int,
+    jobs: int,
+    conditions: Sequence[str],
+    fail_fast: bool,
+    incremental: bool = True,
+) -> Iterator[Batch]:
+    """Stream per-class check batches, one symmetry class per work item.
+
+    Yields ``(class_index, member_reports, cache_delta)`` in completion
+    order.  Closing the iterator stops dispatching queued classes and
+    terminates the pool.
+    """
+    options = _options(delay, conditions, fail_fast, incremental)
+
+    def sequential_one(index: int) -> tuple[list[NodeReport], dict[str, int]]:
+        return _check_class_with_delta(annotated, classes[index], **options)
+
+    return _stream(
+        _iter_pool(
+            annotated,
+            classes,
+            options,
+            jobs,
+            tuple(range(len(classes))),
+            _check_one_class,
+            sequential_one,
+        )
+    )
+
+
+def _drain(
+    batches: Iterator[Batch], incremental: bool
+) -> tuple[list[NodeReport], dict[str, int] | None]:
+    """Barrier-style convenience: exhaust a batch stream and re-sort.
+
+    Returns the flattened reports in submission order plus the summed cache
+    deltas (``None`` with ``incremental=False``).
+    """
+    indexed: dict[int, list[NodeReport]] = {}
+    totals: dict[str, int] = {}
+    for index, reports, delta in batches:
+        indexed[index] = reports
+        totals = add_cache_statistics(totals, delta)
+    flattened = [report for index in sorted(indexed) for report in indexed[index]]
+    return flattened, (totals if incremental else None)
 
 
 def check_nodes_in_parallel(
@@ -173,31 +389,26 @@ def check_nodes_in_parallel(
     conditions: Sequence[str],
     fail_fast: bool,
     incremental: bool = True,
-) -> list[NodeReport]:
-    """Check ``nodes`` using up to ``jobs`` forked worker processes."""
-    from repro.core.checker import check_node
+) -> tuple[list[NodeReport], dict[str, int] | None]:
+    """Check ``nodes`` using up to ``jobs`` forked worker processes.
 
-    options = {
-        "delay": delay,
-        "conditions": tuple(conditions),
-        "fail_fast": fail_fast,
-        "incremental": incremental,
-    }
-
-    def sequential() -> list[NodeReport]:
-        return [
-            check_node(
-                annotated,
-                node,
-                delay=delay,
-                conditions=conditions,
-                fail_fast=fail_fast,
-                incremental=incremental,
-            )
-            for node in nodes
-        ]
-
-    return _run_pool(annotated, None, options, jobs, tuple(nodes), _check_one, sequential)
+    The barrier-style drain of :func:`iter_node_batches`: returns the
+    reports in node order and the summed incremental-backend cache deltas of
+    the workers (``None`` with ``incremental=False``) — measured identically
+    whether the items ran on the pool or on the sequential fallback.
+    """
+    return _drain(
+        iter_node_batches(
+            annotated,
+            nodes,
+            delay=delay,
+            jobs=jobs,
+            conditions=conditions,
+            fail_fast=fail_fast,
+            incremental=incremental,
+        ),
+        incremental,
+    )
 
 
 def check_classes_in_parallel(
@@ -211,43 +422,20 @@ def check_classes_in_parallel(
 ) -> tuple[list[NodeReport], dict[str, int] | None]:
     """Check symmetry ``classes`` on a fork pool, one class per work item.
 
-    Returns the flattened member reports (class order; the caller re-sorts
-    to node order) and the summed incremental-backend cache deltas of the
-    workers (``None`` with ``incremental=False``).
+    The barrier-style drain of :func:`iter_class_batches`: returns the
+    flattened member reports (class order; the caller re-sorts to node
+    order) and the summed incremental-backend cache deltas of the workers
+    (``None`` with ``incremental=False``).
     """
-    options = {
-        "delay": delay,
-        "conditions": tuple(conditions),
-        "fail_fast": fail_fast,
-        "incremental": incremental,
-    }
-
-    def sequential() -> list[tuple[list[NodeReport], dict[str, int]]]:
-        return [
-            _check_class_with_delta(
-                annotated,
-                symmetry_class,
-                delay=delay,
-                conditions=conditions,
-                fail_fast=fail_fast,
-                incremental=incremental,
-            )
-            for symmetry_class in classes
-        ]
-
-    outcomes = _run_pool(
-        annotated,
-        classes,
-        options,
-        jobs,
-        tuple(range(len(classes))),
-        _check_one_class,
-        sequential,
+    return _drain(
+        iter_class_batches(
+            annotated,
+            classes,
+            delay=delay,
+            jobs=jobs,
+            conditions=conditions,
+            fail_fast=fail_fast,
+            incremental=incremental,
+        ),
+        incremental,
     )
-    reports = [report for class_reports, _ in outcomes for report in class_reports]
-    if not incremental:
-        return reports, None
-    totals: dict[str, int] = {}
-    for _, delta in outcomes:
-        totals = add_cache_statistics(totals, delta)
-    return reports, totals

@@ -97,10 +97,19 @@ class ModularReport:
     symmetry_classes: int | None = None
     #: Incremental-backend cache counters accumulated over the run
     #: (bit-blast and Tseitin hits/misses, SAT scopes, learned clauses —
-    #: see ``IncrementalSolver.cache_statistics``).  ``None`` when the run
-    #: used fresh per-condition solvers or the counters were not collected
-    #: (per-node parallel workers).
+    #: see ``IncrementalSolver.cache_statistics``).  Parallel runs sum the
+    #: per-work-item deltas measured inside the workers.  ``None`` when the
+    #: run used fresh per-condition solvers.
     backend_cache: dict[str, int] | None = None
+    #: True when run-level ``stop_on_failure`` halted scheduling after the
+    #: first failing batch (see :class:`repro.verify.Modular`).
+    stopped_early: bool = False
+    #: Conditions without a verdict because the run stopped early: one per
+    #: requested condition kind for every selected node that received none —
+    #: nodes never scheduled, plus (in parallel runs) nodes whose in-flight
+    #: batch was discarded when the pool was stopped.  Always 0 for runs
+    #: that were not stopped.
+    conditions_skipped: int = 0
 
     @property
     def passed(self) -> bool:
@@ -129,6 +138,8 @@ class ModularReport:
             "conditions_checked": self.conditions_checked,
             "conditions_discharged": self.conditions_discharged,
             "conditions_propagated": self.conditions_propagated,
+            "conditions_skipped": self.conditions_skipped,
+            "stopped_early": self.stopped_early,
             "median_node_time_s": self.median_node_time,
             "p99_node_time_s": self.p99_node_time,
             "max_node_time_s": self.max_node_time,
@@ -217,6 +228,10 @@ class ModularReport:
                 f"; symmetry={self.symmetry}: {self.symmetry_classes} classes, "
                 f"{self.conditions_discharged}/{self.conditions_checked} conditions discharged"
             )
+        if self.stopped_early:
+            text += (
+                f"; stopped early on failure ({self.conditions_skipped} conditions skipped)"
+            )
         return text
 
 
@@ -274,6 +289,8 @@ def merge_reports(
     symmetry: str = "off",
     symmetry_classes: int | None = None,
     backend_cache: dict[str, int] | None = None,
+    stopped_early: bool = False,
+    conditions_skipped: int = 0,
 ) -> ModularReport:
     """Assemble a :class:`ModularReport` from per-node reports.
 
@@ -288,6 +305,8 @@ def merge_reports(
         symmetry=symmetry,
         symmetry_classes=symmetry_classes,
         backend_cache=backend_cache,
+        stopped_early=stopped_early,
+        conditions_skipped=conditions_skipped,
     )
 
 

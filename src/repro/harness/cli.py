@@ -105,6 +105,15 @@ def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
         help="modular SMT backend (default: incremental)",
     )
     parser.add_argument(
+        "--stop-on-failure",
+        action="store_true",
+        help=(
+            "stop scheduling further nodes/classes after the first failing "
+            "batch (parallel runs stop dispatching queued work and terminate "
+            "the pool; the report records how many conditions were skipped)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="also print symmetry and incremental-backend cache statistics",
@@ -114,8 +123,8 @@ def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help=(
             "stream per-condition progress lines to stderr as verdicts arrive "
-            "(with --jobs > 1 each sweep point reports in one batch once its "
-            "workers finish)"
+            "(live even with --jobs > 1: each worker batch reports the moment "
+            "it finishes)"
         ),
     )
     parser.add_argument(
@@ -134,6 +143,7 @@ def _modular_strategy(arguments: argparse.Namespace) -> Modular:
         backend=arguments.backend,
         # --jobs 0 has always meant "run sequentially".
         parallel=max(1, arguments.jobs),
+        stop_on_failure=arguments.stop_on_failure,
         spot_check_seed=arguments.spot_check_seed,
     )
 

@@ -201,10 +201,13 @@ def run_point(
 ) -> ExperimentResult:
     """Run one (benchmark, size) point under the given strategies.
 
-    Each non-``None`` strategy runs in its own :class:`Session`; the
-    modular session streams per-condition events to ``on_event`` as they
-    are discharged.  ``settings`` is the deprecated legacy knob record and
-    overrides both strategies when passed.
+    Each non-``None`` strategy runs in its own :class:`Session`, and every
+    engine's stream is routed through ``on_event`` — modular events arrive
+    per condition as batches are discharged (live even for parallel runs),
+    the monolithic baseline emits its single whole-network verdict event —
+    so ``--progress`` consumers see baseline verdicts too.  ``settings`` is
+    the deprecated legacy knob record and overrides both strategies when
+    passed.
     """
     if isinstance(modular, SweepSettings):
         # Legacy positional call run_point(exp, name, annotated, nodes,
@@ -221,15 +224,19 @@ def run_point(
         parameters=dict(parameters or {}),
     )
     if modular is not None:
-        with Session(annotated, modular) as session:
-            for event in session.stream():
-                if on_event is not None:
-                    on_event(event)
-            result.modular = session.report
+        result.modular = _observed_run(annotated, modular, on_event)
     if monolithic is not None:
-        with Session(annotated, monolithic) as session:
-            result.monolithic = session.run()
+        result.monolithic = _observed_run(annotated, monolithic, on_event)
     return result
+
+
+def _observed_run(annotated, strategy, on_event: EventObserver | None):
+    """One engine run with its event stream routed through the observer."""
+    with Session(annotated, strategy) as session:
+        for event in session.stream():
+            if on_event is not None:
+                on_event(event)
+        return session.report
 
 
 def sweep_fattree(

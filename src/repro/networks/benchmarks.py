@@ -224,6 +224,30 @@ def _standard_annotated(
 # ---------------------------------------------------------------------------
 
 
+def inject_interface_failure(
+    annotated: AnnotatedNetwork, node: str | None = None
+) -> tuple[AnnotatedNetwork, str]:
+    """A copy of ``annotated`` with one node's interface made unsatisfiable.
+
+    The failure-injection recipe shared by the stop-on-failure ablation row
+    and the CI parallel-streaming smoke: ``node`` (default: the middle node
+    of the selection order) claims it never has a route, so its inductive
+    condition — and typically its successors' — must fail.  Returns the
+    poisoned network and the chosen node.
+    """
+    poisoned = node if node is not None else annotated.nodes[len(annotated.nodes) // 2]
+    interfaces = {name: annotated.interface(name) for name in annotated.nodes}
+    interfaces[poisoned] = globally(lambda r: r.is_none)
+    properties = {name: annotated.node_property(name) for name in annotated.nodes}
+    injected = AnnotatedNetwork(
+        annotated.network,
+        interfaces,
+        properties,
+        minimum_time_width=annotated.minimum_time_width,
+    )
+    return injected, poisoned
+
+
 def build_reach(pods: int, all_pairs: bool = False, widths: dict[str, int] | None = None) -> FattreeBenchmark:
     """The Reach benchmark: plain shortest-path-style eBGP, reachability."""
     fattree = Fattree(pods)

@@ -11,9 +11,12 @@ across whole runs (a PR 2 follow-up).
 
 Sessions stream: :meth:`Session.stream` is a generator of per-condition
 :class:`~repro.core.results.ConditionResult` events, yielded batch by batch
-(per node, or per symmetry class) as the engine discharges them — the
-harness uses this for progress output, and a ``fail_fast`` consumer can
-simply stop iterating at the first failing event.  Exhausting the stream
+(per node, or per symmetry class) as the engine discharges them — live even
+for parallel runs, where each worker batch is yielded the moment it
+completes.  The harness uses this for progress output; a fail-fast consumer
+can simply stop iterating at the first failing event (in-flight parallel
+dispatch is cancelled and the session solver recovered), or ask the engine
+to do it with ``Modular(stop_on_failure=True)``.  Exhausting the stream
 finalizes :attr:`Session.report`; :meth:`Session.run` is the drain-and-
 return convenience used by non-streaming callers.
 
@@ -35,6 +38,7 @@ from repro.errors import VerificationError
 from repro.routing.algebra import Network
 from repro.smt.incremental import (
     IncrementalSolver,
+    add_cache_statistics,
     process_cache_statistics,
     subtract_cache_statistics,
 )
@@ -172,10 +176,13 @@ class Session:
         """One verification run as a stream of per-condition events.
 
         Events arrive in discharge order (per node, or per symmetry class);
-        parallel runs yield them in one batch once the worker pool
-        completes.  Exhausting the iterator finalizes :attr:`report`.
-        Abandoning the iterator early (e.g. on the first failure) leaves
-        :attr:`report` at the previous run's value.
+        parallel runs yield each batch's events the moment its worker
+        finishes, so progress is live even while the pool is still working.
+        Exhausting the iterator finalizes :attr:`report`.  Abandoning the
+        iterator early (e.g. on the first failure) leaves :attr:`report` at
+        the previous run's value, stops any in-flight parallel dispatch, and
+        restores the session-owned solver to a clean scope so the next run
+        on this session starts sound.
 
         At most one stream is live per session: starting a new run
         deterministically cancels an abandoned in-flight one (its iterator
@@ -254,6 +261,46 @@ def _selected_nodes(
     return selected
 
 
+def _batch_failed(batch_reports: Sequence[Any]) -> bool:
+    """Whether any condition in a completed batch failed."""
+    return any(
+        not result.holds for report in batch_reports for result in report.results
+    )
+
+
+def _consume_batches(
+    batches: Iterator[Any], strategy: Modular
+) -> Iterator[ConditionResult]:
+    """Yield a parallel batch stream's events live; return the aggregates.
+
+    The single consumption protocol for both parallel paths (per-node and
+    per-class): events are yielded the moment a batch arrives, worker cache
+    deltas are summed, and with ``strategy.stop_on_failure`` the stream is
+    stopped after the first failing batch.  Closing ``batches`` in all exit
+    paths is what stops dispatch and reaps the pool.  The ``yield from``
+    return value is ``(reports, cache_delta, stopped_early)`` with reports
+    flattened in submission order.
+    """
+    totals: dict[str, int] = {}
+    indexed: dict[int, list[Any]] = {}
+    stopped_early = False
+    try:
+        for index, batch_reports, delta in batches:
+            indexed[index] = batch_reports
+            totals = add_cache_statistics(totals, delta)
+            for report in batch_reports:
+                yield from report.results
+            if strategy.stop_on_failure and _batch_failed(batch_reports):
+                stopped_early = True
+                break
+    finally:
+        # Stops dispatch and reaps the pool whether the stream was
+        # exhausted, stopped on failure, or abandoned.
+        batches.close()
+    reports = [report for index in sorted(indexed) for report in indexed[index]]
+    return reports, (totals if strategy.incremental else None), stopped_early
+
+
 def modular_events(
     session: Session, strategy: Modular, nodes: Sequence[str] | None
 ) -> Iterator[ConditionResult]:
@@ -263,8 +310,18 @@ def modular_events(
     ordering and cache-statistics collection are identical to the legacy
     ``check_modular`` — the shim delegates here, and the byte-identical-
     verdicts test in ``tests/verify/test_session.py`` holds both to it.
-    Batches are yielded as they complete; each batch opens a fresh SAT
-    scope on its backend.
+    Batches are yielded as they complete — parallel batches arrive in
+    completion order, the moment each worker finishes — and each batch
+    opens a fresh SAT scope on its backend.  Final reports are re-sorted to
+    the deterministic node selection order regardless of completion order,
+    and per-worker cache deltas are summed into ``backend_cache``.
+
+    With ``strategy.stop_on_failure`` the engine stops scheduling work after
+    the first batch that reports a failing condition: queued parallel items
+    are never dispatched, the pool is drained and terminated cleanly, and
+    the finalized report records ``stopped_early`` plus how many conditions
+    got no verdict (``conditions_skipped`` — never-scheduled nodes, plus
+    in-flight batches discarded with the stopped pool).
     """
     from repro.core.checker import check_class, check_node
 
@@ -277,6 +334,7 @@ def modular_events(
     class_count: int | None = None
     cache_before: dict[str, int] | None = None
     cache_delta: dict[str, int] | None = None
+    stopped_early = False
     reports = []
 
     def snapshot() -> dict[str, int]:
@@ -301,57 +359,75 @@ def modular_events(
             solver.recover()
             raise
 
-    if strategy.symmetry == "off":
-        if strategy.parallel > 1:
-            # Worker-process cache counters are not observable from here, so
-            # no snapshot is taken (the report carries backend_cache=None).
-            from repro.core.parallel import check_nodes_in_parallel
+    try:
+        if strategy.symmetry == "off":
+            if strategy.parallel > 1:
+                from repro.core.parallel import iter_node_batches
 
-            reports = check_nodes_in_parallel(
-                annotated, selected, jobs=strategy.parallel, **options
-            )
-            for report in reports:
-                yield from report.results
-        else:
-            if strategy.incremental:
-                cache_before = snapshot()
-            for node in selected:
-                report = checked(check_node, annotated, node)
-                reports.append(report)
-                yield from report.results
-    else:
-        classes = partition_nodes(
-            annotated, selected, delay=strategy.delay, conditions=strategy.conditions
-        )
-        class_count = len(classes)
-        if strategy.symmetry == "spot-check":
-            rng = random.Random(strategy.spot_check_seed)
-            for symmetry_class in classes:
-                if len(symmetry_class) > 1:
-                    symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
-        if strategy.parallel > 1:
-            from repro.core.parallel import check_classes_in_parallel
-
-            reports, cache_delta = check_classes_in_parallel(
-                annotated, classes, jobs=strategy.parallel, **options
-            )
-            for report in reports:
-                yield from report.results
-        else:
-            if strategy.incremental:
-                cache_before = snapshot()
-            for symmetry_class in classes:
-                class_reports = checked(check_class, annotated, symmetry_class)
-                reports.extend(class_reports)
-                for report in class_reports:
+                reports, cache_delta, stopped_early = yield from _consume_batches(
+                    iter_node_batches(annotated, selected, jobs=strategy.parallel, **options),
+                    strategy,
+                )
+            else:
+                if strategy.incremental:
+                    cache_before = snapshot()
+                for node in selected:
+                    report = checked(check_node, annotated, node)
+                    reports.append(report)
                     yield from report.results
-        # Classes interleave the node order; restore the selection order so
-        # reports (and counterexample enumeration) are reproducible.
-        order = {node: index for index, node in enumerate(selected)}
-        reports.sort(key=lambda report: order[report.node])
+                    if strategy.stop_on_failure and _batch_failed([report]):
+                        stopped_early = True
+                        break
+        else:
+            classes = partition_nodes(
+                annotated, selected, delay=strategy.delay, conditions=strategy.conditions
+            )
+            class_count = len(classes)
+            if strategy.symmetry == "spot-check":
+                rng = random.Random(strategy.spot_check_seed)
+                for symmetry_class in classes:
+                    if len(symmetry_class) > 1:
+                        symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
+            if strategy.parallel > 1:
+                from repro.core.parallel import iter_class_batches
+
+                reports, cache_delta, stopped_early = yield from _consume_batches(
+                    iter_class_batches(annotated, classes, jobs=strategy.parallel, **options),
+                    strategy,
+                )
+            else:
+                if strategy.incremental:
+                    cache_before = snapshot()
+                for symmetry_class in classes:
+                    class_reports = checked(check_class, annotated, symmetry_class)
+                    reports.extend(class_reports)
+                    for report in class_reports:
+                        yield from report.results
+                    if strategy.stop_on_failure and _batch_failed(class_reports):
+                        stopped_early = True
+                        break
+            # Classes interleave the node order; restore the selection order so
+            # reports (and counterexample enumeration) are reproducible.
+            order = {node: index for index, node in enumerate(selected)}
+            reports.sort(key=lambda report: order[report.node])
+    except GeneratorExit:
+        # The consumer abandoned the stream mid-run.  A completed batch
+        # leaves its SAT scope open on the pinned solver (the next batch
+        # would have rotated it); without recovery the abandoned scope —
+        # and, after a mid-batch close, possibly a dangling assertion
+        # frame — would leak into the next run on this session.
+        if solver is not None:
+            solver.recover()
+        raise
 
     if cache_before is not None:
         cache_delta = subtract_cache_statistics(snapshot(), cache_before)
+    checked_nodes = {report.node for report in reports}
+    conditions_skipped = (
+        len(strategy.conditions) * sum(1 for node in selected if node not in checked_nodes)
+        if stopped_early
+        else 0
+    )
     session._finalize(
         merge_reports(
             reports,
@@ -360,6 +436,8 @@ def modular_events(
             symmetry=strategy.symmetry,
             symmetry_classes=class_count,
             backend_cache=cache_delta,
+            stopped_early=stopped_early,
+            conditions_skipped=conditions_skipped,
         )
     )
 

@@ -121,6 +121,13 @@ class Modular(Strategy):
     ``spot_check_seed`` seeds the deterministic choice of re-verified class
     members in ``spot-check`` mode.  ``delay`` and ``conditions`` mirror the
     per-node knobs of :func:`repro.core.check_node`.
+
+    Two fail-fast granularities: ``fail_fast`` (per batch) skips a node's
+    remaining conditions after its first failure, mirroring Algorithm 1;
+    ``stop_on_failure`` (run level) additionally stops scheduling *further*
+    nodes/classes once any completed batch reports a failing condition —
+    parallel runs stop dispatching queued work items and terminate the pool,
+    and the report records ``stopped_early``/``conditions_skipped``.
     """
 
     name: ClassVar[str] = "modular"
@@ -130,6 +137,7 @@ class Modular(Strategy):
     backend: str = "incremental"
     parallel: int = 1
     fail_fast: bool = True
+    stop_on_failure: bool = False
     spot_check_seed: int = 0
     delay: int = 0
     conditions: tuple[str, ...] = CONDITION_KINDS
@@ -143,6 +151,12 @@ class Modular(Strategy):
             raise ValueError(f"unknown backend {self.backend!r}; choose one of {BACKENDS}")
         if self.parallel < 1:
             raise ValueError(f"parallel must be a positive worker count, got {self.parallel}")
+        for flag in ("fail_fast", "stop_on_failure"):
+            value = getattr(self, flag)
+            if not isinstance(value, bool):
+                # A truthy non-bool (e.g. the string "false" from a config
+                # file) would silently flip the engine's fail-fast behavior.
+                raise ValueError(f"{flag} must be a bool, got {value!r}")
         if self.backend == "persistent" and self.parallel > 1:
             # Worker processes own their solvers, so a session-owned
             # persistent solver cannot serve a parallel run; rejecting the
@@ -170,8 +184,8 @@ class Modular(Strategy):
 
         Every :class:`Modular` field must either appear here or steer the
         engine loop itself (``symmetry``, ``backend``, ``parallel``,
-        ``spot_check_seed``); the strategy regression test enforces that no
-        field is silently dropped.
+        ``stop_on_failure``, ``spot_check_seed``); the strategy regression
+        test enforces that no field is silently dropped.
         """
         return {
             "delay": self.delay,

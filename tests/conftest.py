@@ -12,3 +12,27 @@ def _fresh_symbolic_names():
     """Keep symbolic variable names deterministic within each test."""
     reset_fresh_names()
     yield
+
+
+@pytest.fixture
+def one_failing_node_annotated():
+    """Factory: a path network whose ``failing`` node cannot satisfy its interface.
+
+    The shared failure-injection fixture for run-level fail-fast tests: every
+    node eventually has a route except ``failing``, whose interface claims it
+    never does — its inductive condition (and its successors') must fail.
+    """
+    from repro import core
+    from repro.routing import path_topology, shortest_path_network
+
+    def build(length=8, failing="n2"):
+        topology = path_topology(length)
+        network = shortest_path_network(topology, "n0")
+        interfaces = {
+            node: core.finally_(index, core.globally(lambda r: r.is_some))
+            for index, node in enumerate(topology.nodes)
+        }
+        interfaces[failing] = core.globally(lambda r: r.is_none)
+        return core.annotate(network, interfaces)
+
+    return build

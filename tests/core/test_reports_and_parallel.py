@@ -1,9 +1,15 @@
 """Tests for counterexample rendering, report aggregation and the parallel runner."""
 
+import multiprocessing
+
 import pytest
 
 from repro.core.counterexample import Counterexample
-from repro.core.parallel import check_nodes_in_parallel
+from repro.core.parallel import (
+    check_classes_in_parallel,
+    check_nodes_in_parallel,
+    iter_node_batches,
+)
 from repro.core.results import (
     ConditionResult,
     ModularReport,
@@ -102,7 +108,7 @@ class TestParallelRunner:
 
     def test_parallel_runner_returns_one_report_per_node(self):
         annotated = self._annotated()
-        reports = check_nodes_in_parallel(
+        reports, totals = check_nodes_in_parallel(
             annotated,
             annotated.nodes,
             delay=0,
@@ -110,12 +116,15 @@ class TestParallelRunner:
             conditions=core.CONDITION_KINDS,
             fail_fast=True,
         )
-        assert sorted(report.node for report in reports) == sorted(annotated.nodes)
+        # Reports come back in node order regardless of completion order,
+        # and the workers' cache deltas are summed for the caller.
+        assert tuple(report.node for report in reports) == annotated.nodes
         assert all(report.passed for report in reports)
+        assert totals is not None and totals["scopes"] == len(annotated.nodes)
 
     def test_single_job_falls_back_to_sequential(self):
         annotated = self._annotated()
-        reports = check_nodes_in_parallel(
+        reports, totals = check_nodes_in_parallel(
             annotated,
             ("n1",),
             delay=0,
@@ -124,6 +133,7 @@ class TestParallelRunner:
             fail_fast=True,
         )
         assert len(reports) == 1 and reports[0].node == "n1"
+        assert totals is not None and totals["scopes"] == 1
 
     def test_counterexamples_survive_the_process_boundary(self):
         topology = path_topology(2)
@@ -147,7 +157,7 @@ class TestParallelRunner:
         )
         annotated = self._annotated()
         with pytest.warns(RuntimeWarning, match="process pool unavailable"):
-            reports = check_nodes_in_parallel(
+            reports, totals = check_nodes_in_parallel(
                 annotated,
                 annotated.nodes,
                 delay=0,
@@ -157,6 +167,33 @@ class TestParallelRunner:
             )
         assert sorted(report.node for report in reports) == sorted(annotated.nodes)
         assert all(report.passed for report in reports)
+        # The degraded run executed in-process, where the cache counters are
+        # observable — it must report deltas exactly like the pool path.
+        assert totals is not None
+        assert totals["scopes"] == len(annotated.nodes)
+        # Guard-table lookups happen on every assertion, so a degraded run
+        # always reports activity (tseitin counters can be all-hits-elsewhere
+        # when an earlier run in this process already encoded the terms).
+        assert totals["guard_hits"] + totals["guard_misses"] > 0
+
+    def test_degraded_parallel_run_still_reports_backend_cache(self, monkeypatch):
+        """A parallel>1 engine run that silently degrades to sequential must
+        not lose the cache statistics the in-process run can observe."""
+        import repro.core.parallel as parallel
+
+        class _FailingContext:
+            def Pool(self, processes):
+                raise OSError("no semaphores on this platform")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", lambda kind: _FailingContext()
+        )
+        annotated = self._annotated()
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            report = verify(annotated, Modular(parallel=2))
+        assert report.passed
+        assert report.backend_cache is not None
+        assert report.backend_cache["scopes"] == len(annotated.nodes)
 
     def test_worker_crashes_propagate_instead_of_rerunning_sequentially(self):
         # A crashing interface used to be swallowed by a blanket
@@ -182,6 +219,115 @@ class TestParallelRunner:
                 conditions=core.CONDITION_KINDS,
                 fail_fast=True,
             )
+        _assert_no_orphaned_workers()
+
+
+def _assert_no_orphaned_workers():
+    """Every pool worker must be reaped once the dispatcher winds down."""
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+class TestStreamingDispatcher:
+    def _annotated(self, length=6):
+        topology = path_topology(length)
+        network = shortest_path_network(topology, "n0")
+        interfaces = {
+            node: core.finally_(index, core.globally(lambda r: r.is_some))
+            for index, node in enumerate(topology.nodes)
+        }
+        return core.annotate(network, interfaces)
+
+    def test_batches_carry_submission_indices_and_deltas(self):
+        annotated = self._annotated()
+        batches = list(
+            iter_node_batches(
+                annotated,
+                annotated.nodes,
+                delay=0,
+                jobs=2,
+                conditions=core.CONDITION_KINDS,
+                fail_fast=True,
+            )
+        )
+        assert sorted(index for index, _, _ in batches) == list(range(len(annotated.nodes)))
+        for index, reports, delta in batches:
+            assert [report.node for report in reports] == [annotated.nodes[index]]
+            assert delta["scopes"] == 1
+        _assert_no_orphaned_workers()
+
+    def test_closing_the_stream_stops_dispatch_without_orphans(self):
+        annotated = self._annotated(length=8)
+        batches = iter_node_batches(
+            annotated,
+            annotated.nodes,
+            delay=0,
+            jobs=2,
+            conditions=core.CONDITION_KINDS,
+            fail_fast=True,
+        )
+        next(batches)
+        batches.close()
+        _assert_no_orphaned_workers()
+
+    def test_class_barrier_drain_matches_node_order_contract(self):
+        """check_classes_in_parallel (the barrier drain over class batches)
+        returns member reports in class order with summed worker deltas."""
+        from repro.core.symmetry import partition_nodes
+
+        annotated = self._annotated()
+        classes = partition_nodes(annotated, annotated.nodes, delay=0)
+        reports, totals = check_classes_in_parallel(
+            annotated,
+            classes,
+            delay=0,
+            jobs=2,
+            conditions=core.CONDITION_KINDS,
+            fail_fast=True,
+        )
+        expected = [member for cls in classes for member in cls.members]
+        assert [report.node for report in reports] == expected
+        assert totals is not None and totals["scopes"] == len(classes)
+        _assert_no_orphaned_workers()
+
+    def test_crash_propagates_from_streaming_engine_run(self):
+        """A crashing batch surfaces through verify() too, with no silent
+        sequential rerun and no leaked pool."""
+        topology = path_topology(3)
+        network = shortest_path_network(topology, "n0")
+
+        def exploding_predicate(route):
+            raise RuntimeError("worker exploded")
+
+        annotated = core.annotate(
+            network,
+            {node: core.globally(exploding_predicate) for node in topology.nodes},
+        )
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            verify(annotated, Modular(parallel=2))
+        _assert_no_orphaned_workers()
+
+    def test_event_order_within_a_batch_is_stable(self):
+        """Whole-stream order depends on completion timing, but each node's
+        events stay contiguous and in canonical condition order."""
+        annotated = self._annotated()
+        for _ in range(2):
+            from repro.verify import Session
+
+            with Session(annotated, Modular(parallel=2)) as session:
+                events = list(session.stream())
+            seen = []
+            for event in events:
+                if not seen or seen[-1] != event.node:
+                    seen.append(event.node)
+            # Contiguous: each node appears exactly once in the arrival order.
+            assert len(seen) == len(set(seen)) == len(annotated.nodes)
+            by_node = {}
+            for event in events:
+                by_node.setdefault(event.node, []).append(event.condition)
+            for conditions in by_node.values():
+                assert conditions == list(core.CONDITION_KINDS)
 
 
 class TestReportJson:

@@ -50,11 +50,22 @@ class TestParser:
                 "fresh",
                 "--jobs",
                 "2",
+                "--stop-on-failure",
             ]
         )
         assert _modular_strategy(arguments) == Modular(
-            symmetry="spot-check", spot_check_seed=9, backend="fresh", parallel=2
+            symmetry="spot-check",
+            spot_check_seed=9,
+            backend="fresh",
+            parallel=2,
+            stop_on_failure=True,
         )
+
+    def test_stop_on_failure_defaults_off(self):
+        from repro.harness.cli import _modular_strategy
+
+        arguments = build_argument_parser().parse_args(["figure14"])
+        assert _modular_strategy(arguments).stop_on_failure is False
 
     def test_bad_symmetry_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
@@ -176,6 +187,44 @@ class TestSweepCommands:
         assert "strategy: modular(" in captured.err
         assert "initial: ok" in captured.err
         assert "SpReach" in captured.out
+
+    def test_progress_streams_during_parallel_runs(self, capsys):
+        code = main(
+            [
+                "figure14",
+                "--policy",
+                "reach",
+                "--pods",
+                "4",
+                "--skip-monolithic",
+                "--jobs",
+                "2",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "initial: ok" in captured.err
+        assert "SpReach" in captured.out
+
+    def test_progress_shows_baseline_verdicts_too(self, capsys):
+        """The monolithic engine's event reaches --progress (a tiny timeout
+        keeps the baseline cheap; a timed-out run still emits its event)."""
+        code = main(
+            [
+                "figure14",
+                "--policy",
+                "reach",
+                "--pods",
+                "4",
+                "--timeout",
+                "0.01",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "monolithic" in captured.err
 
     def test_json_output_carries_cache_counters(self, capsys, tmp_path):
         target = tmp_path / "bench.json"

@@ -58,6 +58,31 @@ class TestSweeps:
         assert len(events) == results[0].modular.conditions_checked
         assert all(event.holds for event in events)
 
+    def test_monolithic_events_reach_the_observer(self):
+        """Regression: run_point only streamed the modular session to
+        on_event; monolithic verdicts were silently dropped."""
+        benchmark = registry.build("ghost/reach")
+        events = []
+        point = run_point(
+            "unit",
+            benchmark.name,
+            benchmark.annotated,
+            nodes=len(benchmark.annotated.nodes),
+            modular=Modular(),
+            monolithic=Monolithic(timeout=60),
+            on_event=events.append,
+        )
+        monolithic_events = [
+            event for event in events if event.condition.startswith("monolithic")
+        ]
+        assert len(monolithic_events) == 1
+        assert monolithic_events[0].node == "*"
+        assert monolithic_events[0].holds == point.monolithic.passed
+        modular_events = [
+            event for event in events if not event.condition.startswith("monolithic")
+        ]
+        assert len(modular_events) == point.modular.conditions_checked
+
     def test_run_point_with_strategy_objects(self):
         benchmark = registry.build("fattree/reach", pods=4)
         point = run_point(

@@ -1,5 +1,6 @@
 """Tests for :class:`repro.verify.Session`: streaming, reports, persistence."""
 
+import multiprocessing
 import warnings
 
 import pytest
@@ -8,7 +9,7 @@ from repro import core
 from repro.core.results import condition_verdicts
 from repro.errors import VerificationError
 from repro.networks import registry
-from repro.routing import build_running_example
+from repro.routing import build_running_example, path_topology, shortest_path_network
 from repro.smt.incremental import reset_process_solver
 from repro.verify import (
     Modular,
@@ -231,6 +232,154 @@ class TestStreaming:
             assert session.runs == 1
             session.run()
             assert session.runs == 2
+
+    def test_abandoned_stream_recovers_the_pinned_solver(self):
+        """Regression: abandoning a stream (GeneratorExit) used to leave the
+        session-owned persistent solver with the abandoned batch's SAT scope
+        open; the next run on the same session must start from a clean scope
+        with byte-identical verdicts and sane learned-clause counters."""
+        benchmark = registry.build("fattree/reach", pods=4)
+        with Session(benchmark.annotated, Modular(backend="persistent")) as clean:
+            expected = condition_verdicts(clean.run())
+        with Session(benchmark.annotated, Modular(backend="persistent")) as session:
+            stream = session.stream()
+            for _ in range(4):
+                next(stream)
+            stream.close()  # the consumer walks away mid-run
+            # Abandonment recovered the pinned solver: assertion frames are
+            # back at the root and a fresh scope was rotated in.
+            assert len(session._solver._frames) == 1
+            first = session.run()
+            second = session.run()
+        assert condition_verdicts(first) == expected
+        assert condition_verdicts(second) == expected
+        assert first.backend_cache["learned_carried"] > 0
+        assert second.backend_cache["learned_carried"] > 0
+
+
+class TestLiveParallelStreaming:
+    def test_parallel_stream_is_live_not_barrier(self):
+        """Acceptance: a Modular(parallel=2) stream yields its first
+        ConditionResult before the last worker batch completes.
+
+        Deterministic handshake: one node's interface blocks inside its
+        worker until the parent has *consumed* an event from another batch.
+        A barrier-style engine deadlocks here (no event is released before
+        the pool completes, and the pool cannot complete unreleased) and
+        fails via the worker's timeout."""
+        context = multiprocessing.get_context("fork")
+        release = context.Event()
+
+        def gated(route):
+            if not release.wait(timeout=60):
+                raise RuntimeError(
+                    "no event reached the consumer while workers were still "
+                    "running: the stream is barrier-style, not live"
+                )
+            return route.is_some
+
+        topology = path_topology(4)
+        network = shortest_path_network(topology, "n0")
+        interfaces = {
+            node: core.finally_(index, core.globally(lambda r: r.is_some))
+            for index, node in enumerate(topology.nodes)
+        }
+        # The gated node is dispatched last (window = 2 workers, 4 items).
+        interfaces["n3"] = core.finally_(3, core.globally(gated))
+        annotated = core.annotate(network, interfaces)
+
+        events = []
+        with Session(annotated, Modular(parallel=2)) as session:
+            for event in session.stream():
+                events.append(event)
+                release.set()
+            report = session.report
+        assert report.passed
+        assert len(events) == report.conditions_checked
+        assert tuple(report.node_reports) == annotated.nodes
+
+    def test_parallel_streaming_matches_sequential_run(self):
+        """Verdicts and ordering are completion-order independent, and the
+        parallel run aggregates worker cache deltas into backend_cache."""
+        benchmark = registry.build("fattree/reach", pods=4)
+        sequential = verify(benchmark.annotated, Modular(parallel=1))
+        reset_process_solver()
+        parallel = verify(benchmark.annotated, Modular(parallel=2))
+        assert condition_verdicts(sequential) == condition_verdicts(parallel)
+        assert tuple(parallel.node_reports) == tuple(sequential.node_reports)
+        assert parallel.backend_cache is not None
+        # One SAT scope per node batch, measured inside the workers.
+        assert parallel.backend_cache["scopes"] == len(benchmark.annotated.nodes)
+
+
+class TestStopOnFailure:
+    def test_stop_on_failure_checks_strictly_fewer_conditions(self, one_failing_node_annotated):
+        """Acceptance: a failure-injected stop-on-failure run checks strictly
+        fewer conditions than the full run and reports the same failing
+        condition."""
+        annotated = one_failing_node_annotated()
+        full = verify(annotated, Modular())
+        stopped = verify(annotated, Modular(stop_on_failure=True))
+
+        def failing_conditions(report):
+            return {
+                (result.node, result.condition)
+                for node_report in report.node_reports.values()
+                for result in node_report.results
+                if not result.holds
+            }
+
+        assert not full.passed and not stopped.passed
+        assert stopped.stopped_early and not full.stopped_early
+        assert stopped.conditions_checked < full.conditions_checked
+        assert stopped.conditions_skipped > 0
+        # The stop run's failing conditions are exactly the first failing
+        # batch — present in the full run's failure set too.
+        assert failing_conditions(stopped) <= failing_conditions(full)
+        assert ("n2", "inductive") in failing_conditions(stopped)
+
+    def test_stop_on_failure_skip_accounting(self, one_failing_node_annotated):
+        annotated = one_failing_node_annotated(length=6, failing="n2")
+        report = verify(annotated, Modular(stop_on_failure=True))
+        # Sequential scheduling stops right after n2: n3..n5 never checked.
+        assert sorted(report.node_reports) == ["n0", "n1", "n2"]
+        assert report.conditions_skipped == 3 * len(core.CONDITION_KINDS)
+        assert report.to_json()["stopped_early"] is True
+        assert report.to_json()["conditions_skipped"] == report.conditions_skipped
+        assert "stopped early" in report.summary()
+
+    def test_stop_on_failure_parallel_stops_dispatch_and_pool(self, one_failing_node_annotated):
+        annotated = one_failing_node_annotated(length=10, failing="n1")
+        full = verify(annotated, Modular())
+        report = verify(annotated, Modular(parallel=2, stop_on_failure=True))
+        assert report.stopped_early and not report.passed
+        # Completion order decides *which* failing batch stops the run (the
+        # poisoned node's own in-flight batch may be discarded), but every
+        # reported failure must be one the full run reports too.
+        assert report.failed_nodes
+        assert set(report.failed_nodes) <= set(full.failed_nodes)
+        # Queued nodes were never dispatched once the failing batch arrived.
+        assert len(report.node_reports) < 10
+        assert report.conditions_skipped > 0
+        for child in multiprocessing.active_children():
+            child.join(timeout=10)
+        assert multiprocessing.active_children() == []
+
+    def test_stop_on_failure_with_symmetry_classes(self, one_failing_node_annotated):
+        annotated = one_failing_node_annotated()
+        full = verify(annotated, Modular(symmetry="classes"))
+        stopped = verify(annotated, Modular(symmetry="classes", stop_on_failure=True))
+        assert not full.passed and not stopped.passed
+        assert stopped.stopped_early
+        assert stopped.conditions_checked <= full.conditions_checked
+
+    def test_passing_run_is_unaffected_by_stop_on_failure(self):
+        benchmark = registry.build("ghost/reach")
+        baseline = verify(benchmark.annotated, Modular())
+        enabled = verify(benchmark.annotated, Modular(stop_on_failure=True))
+        assert enabled.passed and not enabled.stopped_early
+        assert enabled.conditions_skipped == 0
+        assert condition_verdicts(enabled) == condition_verdicts(baseline)
 
 
 class TestOtherEngines:

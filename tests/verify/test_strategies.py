@@ -43,6 +43,15 @@ class TestValidation:
         with pytest.raises(ValueError, match="condition kinds"):
             Modular(conditions=("initial", "bogus"))
 
+    def test_fail_fast_flags_must_be_bools(self):
+        # A truthy string (e.g. "false" from a config file) must not
+        # silently flip either fail-fast granularity.
+        with pytest.raises(ValueError, match="stop_on_failure"):
+            Modular(stop_on_failure="false")
+        with pytest.raises(ValueError, match="fail_fast"):
+            Modular(fail_fast="false")
+        assert Modular(stop_on_failure=True).stop_on_failure is True
+
     def test_bad_monolithic_timeout(self):
         with pytest.raises(ValueError, match="timeout"):
             Monolithic(timeout=0)
@@ -125,7 +134,7 @@ class TestEveryFieldReachesTheEngine:
     #: in the kwargs of check_node/check_class) vs fields steering the
     #: engine loop itself (asserted individually below).
     OPTION_FIELDS = {"delay": 3, "conditions": ("initial",), "fail_fast": False}
-    LOOP_FIELDS = {"symmetry", "backend", "parallel", "spot_check_seed"}
+    LOOP_FIELDS = {"symmetry", "backend", "parallel", "stop_on_failure", "spot_check_seed"}
 
     def test_field_inventory_is_complete(self):
         names = {field.name for field in dataclasses.fields(Modular)}
@@ -174,14 +183,14 @@ class TestEveryFieldReachesTheEngine:
 
         import repro.core.parallel as parallel_module
 
-        original = parallel_module.check_nodes_in_parallel
+        original = parallel_module.iter_node_batches
 
         def capture(annotated, nodes, **kwargs):
             seen["jobs"] = kwargs.get("jobs")
             return original(annotated, nodes, **kwargs)
 
         monkeypatch.setattr(
-            "repro.core.parallel.check_nodes_in_parallel", capture
+            "repro.core.parallel.iter_node_batches", capture
         )
         with Session(benchmark.annotated, Modular(parallel=2)) as session:
             report = session.run()
@@ -208,6 +217,19 @@ class TestEveryFieldReachesTheEngine:
         # for the k=4 fattree's class sizes).
         alternatives = {frozenset(spot_checked_members(seed)) for seed in range(4)}
         assert len(alternatives) > 1
+
+    def test_stop_on_failure_reaches_the_engine(self, one_failing_node_annotated):
+        # One failing node in the middle of the schedule.
+        annotated = one_failing_node_annotated(length=6, failing="n2")
+
+        with Session(annotated, Modular()) as session:
+            full = session.run()
+        with Session(annotated, Modular(stop_on_failure=True)) as session:
+            stopped = session.run()
+        assert not full.passed and not full.stopped_early
+        assert stopped.stopped_early and not stopped.passed
+        assert stopped.conditions_checked < full.conditions_checked
+        assert stopped.conditions_skipped > 0
 
     def test_symmetry_reaches_the_report(self):
         benchmark = registry.build("fattree/reach", pods=4)
