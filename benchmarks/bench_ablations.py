@@ -13,6 +13,11 @@
   learned clauses across the verification conditions of a run; the ablation
   compares it against fresh per-condition SAT instances on the fattree
   benchmark families and checks the verdicts are identical.
+* **Delta re-verification.** ``Modular(delta="reuse")`` keys verdicts by
+  content fingerprints in an on-disk store (:mod:`repro.verify.store`); the
+  ablation checks a warm no-op run reuses 100% of the verdicts and a
+  one-node config edit re-checks only the edited neighbourhood (at most
+  ``1 + max-degree`` nodes) with verdicts byte-identical to a cold run.
 * **Symmetry reduction.** The symmetry-aware checker
   (:mod:`repro.core.symmetry`) discharges one representative per node
   equivalence class and propagates the verdict; the ablation runs a ``k=8``
@@ -235,6 +240,71 @@ def test_benchmark_symmetry_modes():
         for row in rows.values()
     )
     assert rows["classes"]["seconds"] < rows["off"]["seconds"]
+
+
+def test_benchmark_delta_reuse(tmp_path):
+    """Ablation row: fingerprint-keyed delta re-verification under churn.
+
+    The workload a verification service actually sees: a cold full run warms
+    the store, a no-op re-run must reuse 100% of the verdicts, and after a
+    one-node config edit the delta run may re-check only the edited node's
+    neighbourhood — at most ``1 + max-degree`` nodes (the node itself plus
+    the successors whose inductive conditions assume its interface) — while
+    producing verdicts byte-identical to a cold full run on the edited
+    network.
+    """
+    from repro.networks.benchmarks import inject_interface_failure
+
+    instance = registry.build("fattree/reach", pods=SYMMETRY_PODS)
+    annotated = instance.annotated
+    store = str(tmp_path / "delta.json")
+
+    def timed(target, strategy):
+        reset_process_solver()
+        started = time.perf_counter()
+        report = verify(target, strategy)
+        elapsed = time.perf_counter() - started
+        reset_process_solver()
+        return report, elapsed
+
+    cold, cold_seconds = timed(annotated, Modular(delta="reuse", store=store))
+    warm, warm_seconds = timed(annotated, Modular(delta="reuse", store=store))
+    edited, _poisoned = inject_interface_failure(annotated)
+    delta, delta_seconds = timed(edited, Modular(delta="reuse", store=store))
+    full, full_seconds = timed(edited, Modular())
+
+    header = f"{'run':<14} {'total [s]':>10} {'checked':>8} {'reused':>8} {'rechecked':>10}"
+    print("\n" + header)
+    print("-" * len(header))
+    for label, report, seconds in (
+        ("cold", cold, cold_seconds),
+        ("warm (no-op)", warm, warm_seconds),
+        ("delta (edit)", delta, delta_seconds),
+        ("full (edit)", full, full_seconds),
+    ):
+        print(
+            f"{label:<14} {seconds:>10.3f} {report.conditions_checked:>8} "
+            f"{report.conditions_reused:>8} {report.conditions_recheck:>10}"
+        )
+
+    assert cold.passed and cold.conditions_reused == 0
+    # A no-op re-run reuses every verdict, with the verdicts unchanged.
+    assert warm.conditions_reused == warm.conditions_checked > 0
+    assert core.condition_verdicts(warm) == core.condition_verdicts(cold)
+    assert warm_seconds < cold_seconds
+    # The delta run agrees byte-for-byte with a cold full run on the edit.
+    assert core.condition_verdicts(delta) == core.condition_verdicts(full)
+    # Invalidation is neighbourhood-bounded: the edited node plus the nodes
+    # whose inductive conditions assume its interface.
+    topology = annotated.network.topology
+    max_degree = max(len(list(topology.predecessors(node))) for node in annotated.nodes)
+    rechecked_nodes = {
+        result.node
+        for node_report in delta.node_reports.values()
+        for result in node_report.results
+        if not result.reused
+    }
+    assert 0 < len(rechecked_nodes) <= 1 + max_degree, (sorted(rechecked_nodes), max_degree)
 
 
 STOP_MODES = {

@@ -1,0 +1,106 @@
+"""Record benchmark trajectory points as ``BENCH_*.json`` at the repo root.
+
+Trajectory files are committed alongside the code so successive PRs can see
+whether a headline number moved.  This recorder measures the delta
+re-verification trajectory (``BENCH_delta.json``): cold vs warm wall time,
+the warm reuse rate, and how many conditions a one-node config edit forces
+the delta engine to re-check::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py --pods 8 --out BENCH_delta.json
+
+Wall times are medians over ``--rounds`` runs (fresh store per round for the
+cold number, warmed store for the others) to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import tempfile
+import time
+from typing import Sequence
+
+from repro.core.results import condition_verdicts
+from repro.networks import registry
+from repro.networks.benchmarks import inject_interface_failure
+from repro.smt.incremental import reset_process_solver
+from repro.verify import Modular, verify
+
+
+def _timed(target, strategy):
+    reset_process_solver()
+    started = time.perf_counter()
+    report = verify(target, strategy)
+    elapsed = time.perf_counter() - started
+    reset_process_solver()
+    return report, elapsed
+
+
+def record_delta_trajectory(pods: int, rounds: int) -> dict:
+    """Measure the cold/warm/edit trajectory of ``Modular(delta="reuse")``."""
+    instance = registry.build("fattree/reach", pods=pods)
+    annotated = instance.annotated
+    edited, poisoned = inject_interface_failure(annotated)
+
+    cold_times, warm_times, delta_times, full_times = [], [], [], []
+    warm_reused = delta_rechecked = delta_checked = 0
+    verdicts_identical = True
+    for _ in range(rounds):
+        store = os.path.join(tempfile.mkdtemp(prefix="bench-delta-"), "store.json")
+        cold, cold_s = _timed(annotated, Modular(delta="reuse", store=store))
+        warm, warm_s = _timed(annotated, Modular(delta="reuse", store=store))
+        delta, delta_s = _timed(edited, Modular(delta="reuse", store=store))
+        full, full_s = _timed(edited, Modular())
+        cold_times.append(cold_s)
+        warm_times.append(warm_s)
+        delta_times.append(delta_s)
+        full_times.append(full_s)
+        warm_reused = warm.conditions_reused
+        delta_rechecked = delta.conditions_recheck
+        delta_checked = delta.conditions_checked
+        verdicts_identical = verdicts_identical and (
+            condition_verdicts(delta) == condition_verdicts(full)
+            and condition_verdicts(warm) == condition_verdicts(cold)
+        )
+
+    def median(values):
+        return round(statistics.median(values), 3)
+
+    return {
+        "benchmark": instance.name,
+        "pods": pods,
+        "nodes": instance.node_count,
+        "rounds": rounds,
+        "poisoned_node": poisoned,
+        "cold_total_s": median(cold_times),
+        "warm_total_s": median(warm_times),
+        "delta_edit_total_s": median(delta_times),
+        "full_edit_total_s": median(full_times),
+        "warm_speedup": round(statistics.median(cold_times) / statistics.median(warm_times), 1),
+        "warm_conditions_reused": warm_reused,
+        "edit_conditions_rechecked": delta_rechecked,
+        "edit_conditions_checked": delta_checked,
+        "verdicts_identical": verdicts_identical,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="record benchmark trajectory JSON")
+    parser.add_argument("--pods", type=int, default=8, help="fattree pod count (default: 8)")
+    parser.add_argument("--rounds", type=int, default=3, help="timing rounds (default: 3)")
+    parser.add_argument("--out", default="BENCH_delta.json", help="output path (default: BENCH_delta.json)")
+    arguments = parser.parse_args(argv)
+
+    record = record_delta_trajectory(arguments.pods, arguments.rounds)
+    with open(arguments.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print(f"wrote {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

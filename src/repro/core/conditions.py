@@ -144,6 +144,21 @@ class VerificationCondition:
     #: The network's symbolic variables (name -> symbolic value).
     symbolics: dict[str, Any] = field(default_factory=dict)
 
+    def fingerprint(self) -> str:
+        """Stable, process-independent content hash of this condition.
+
+        Derived from the term structure of the ``(assumptions, goal)`` pair
+        (see :mod:`repro.core.fingerprint`) — never from interning counters
+        or Python object hashes — so the same condition built in another
+        process (any ``PYTHONHASHSEED``) fingerprints identically.  The
+        delta re-verification store keys verdicts by this hash; for
+        node-identity-erased keys, build the condition with
+        ``naming="class"``.
+        """
+        from repro.core.fingerprint import condition_fingerprint
+
+        return condition_fingerprint(self)
+
     def check(self, solver: Any | None = None) -> ConditionResult:
         """Decide this condition and package the outcome.
 

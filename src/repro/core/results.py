@@ -28,6 +28,12 @@ class ConditionResult:
     #: When the symmetry-aware checker reused another node's verdict instead
     #: of discharging this condition, the representative it came from.
     propagated_from: str | None = None
+    #: True when the delta re-verification layer reused a verdict from the
+    #: persistent store (``Modular(delta="reuse")``) instead of discharging
+    #: or propagating a fresh one this run.  Reused verdicts are always
+    #: passes: failing conditions are re-discharged so counterexamples are
+    #: fresh.
+    reused: bool = False
 
     def __bool__(self) -> bool:
         return self.holds
@@ -110,6 +116,8 @@ class ModularReport:
     #: batch was discarded when the pool was stopped.  Always 0 for runs
     #: that were not stopped.
     conditions_skipped: int = 0
+    #: The delta re-verification mode the run used ("off" | "reuse").
+    delta: str = "off"
 
     @property
     def passed(self) -> bool:
@@ -139,6 +147,9 @@ class ModularReport:
             "conditions_discharged": self.conditions_discharged,
             "conditions_propagated": self.conditions_propagated,
             "conditions_skipped": self.conditions_skipped,
+            "conditions_reused": self.conditions_reused,
+            "conditions_recheck": self.conditions_recheck,
+            "delta": self.delta,
             "stopped_early": self.stopped_early,
             "median_node_time_s": self.median_node_time,
             "p99_node_time_s": self.p99_node_time,
@@ -154,6 +165,7 @@ class ModularReport:
                             "condition": result.condition,
                             "holds": result.holds,
                             "propagated_from": result.propagated_from,
+                            "reused": result.reused,
                         }
                         for result in report.results
                     ],
@@ -174,13 +186,33 @@ class ModularReport:
             1
             for report in self.node_reports.values()
             for result in report.results
-            if result.propagated_from is None
+            if result.propagated_from is None and not result.reused
         )
 
     @property
     def conditions_propagated(self) -> int:
-        """Conditions whose verdict was reused from a class representative."""
-        return self.conditions_checked - self.conditions_discharged
+        """Conditions whose verdict was reused from a class representative *this run*."""
+        return sum(
+            1
+            for report in self.node_reports.values()
+            for result in report.results
+            if result.propagated_from is not None and not result.reused
+        )
+
+    @property
+    def conditions_reused(self) -> int:
+        """Conditions whose verdict came from the delta store, not this run."""
+        return sum(
+            1
+            for report in self.node_reports.values()
+            for result in report.results
+            if result.reused
+        )
+
+    @property
+    def conditions_recheck(self) -> int:
+        """Conditions that received a fresh verdict this run (not store-reused)."""
+        return self.conditions_checked - self.conditions_reused
 
     @property
     def failed_nodes(self) -> list[str]:
@@ -227,6 +259,11 @@ class ModularReport:
             text += (
                 f"; symmetry={self.symmetry}: {self.symmetry_classes} classes, "
                 f"{self.conditions_discharged}/{self.conditions_checked} conditions discharged"
+            )
+        if self.delta != "off":
+            text += (
+                f"; delta={self.delta}: {self.conditions_reused}/{self.conditions_checked} "
+                f"conditions reused, {self.conditions_recheck} rechecked"
             )
         if self.stopped_early:
             text += (
@@ -291,6 +328,7 @@ def merge_reports(
     backend_cache: dict[str, int] | None = None,
     stopped_early: bool = False,
     conditions_skipped: int = 0,
+    delta: str = "off",
 ) -> ModularReport:
     """Assemble a :class:`ModularReport` from per-node reports.
 
@@ -307,6 +345,7 @@ def merge_reports(
         backend_cache=backend_cache,
         stopped_early=stopped_early,
         conditions_skipped=conditions_skipped,
+        delta=delta,
     )
 
 

@@ -46,7 +46,7 @@ from repro.harness.tables import (
     symmetry_table,
 )
 from repro.networks import registry
-from repro.verify import BACKENDS, Modular, Monolithic, strategy
+from repro.verify import BACKENDS, DELTA_MODES, Modular, Monolithic, strategy
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -105,6 +105,26 @@ def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
         help="modular SMT backend (default: incremental)",
     )
     parser.add_argument(
+        "--delta",
+        choices=list(DELTA_MODES),
+        default="off",
+        help=(
+            "delta re-verification for modular checks (default: off): with "
+            "'reuse', verdicts of conditions unchanged since the last "
+            "recorded run are reused from the on-disk fingerprint store and "
+            "only changed/new conditions are discharged"
+        ),
+    )
+    parser.add_argument(
+        "--delta-store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "fingerprint store path for --delta reuse (default: a "
+            "per-(network, strategy) file under .timepiece-delta/)"
+        ),
+    )
+    parser.add_argument(
         "--stop-on-failure",
         action="store_true",
         help=(
@@ -145,6 +165,8 @@ def _modular_strategy(arguments: argparse.Namespace) -> Modular:
         parallel=max(1, arguments.jobs),
         stop_on_failure=arguments.stop_on_failure,
         spot_check_seed=arguments.spot_check_seed,
+        delta=arguments.delta,
+        store=arguments.delta_store,
     )
 
 
@@ -162,7 +184,8 @@ def _observer(arguments: argparse.Namespace, modular: Modular):
     def on_event(event: ConditionResult) -> None:
         status = "ok" if event.holds else "FAIL"
         origin = "" if event.propagated_from is None else f" (from {event.propagated_from})"
-        print(f"  {event.node} {event.condition}: {status}{origin}", file=sys.stderr)
+        reused = " [reused]" if event.reused else ""
+        print(f"  {event.node} {event.condition}: {status}{origin}{reused}", file=sys.stderr)
 
     return on_event
 

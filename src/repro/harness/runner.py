@@ -84,6 +84,9 @@ class ExperimentResult:
             "tp_classes": None if self.modular is None else self.modular.symmetry_classes,
             "tp_discharged": None if self.modular is None else self.modular.conditions_discharged,
             "tp_conditions": None if self.modular is None else self.modular.conditions_checked,
+            "tp_delta": None if self.modular is None else self.modular.delta,
+            "tp_reused": None if self.modular is None else self.modular.conditions_reused,
+            "tp_recheck": None if self.modular is None else self.modular.conditions_recheck,
             "ms_total_s": _rounded(self.monolithic_wall_time),
             "ms_outcome": self._monolithic_outcome(),
         }

@@ -126,7 +126,13 @@ def internet2_table(results: Sequence[ExperimentResult]) -> str:
 
 
 def symmetry_table(results: Sequence[ExperimentResult]) -> str:
-    """Symmetry-reduction effectiveness: classes and discharged conditions."""
+    """Verdict-avoidance effectiveness: symmetry classes and delta reuse.
+
+    ``discharged`` counts conditions handed to the SMT backend,
+    ``propagated`` verdicts copied from a class representative this run, and
+    ``reused`` verdicts supplied by the delta store (``--delta reuse``)
+    without any work this run; the three partition ``tp_conditions``.
+    """
     headers = (
         "benchmark",
         "nodes",
@@ -134,6 +140,8 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
         "classes",
         "discharged",
         "propagated",
+        "delta",
+        "reused",
         "Tp total [s]",
     )
     rows = []
@@ -141,7 +149,8 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
         row = result.as_row()
         conditions = row["tp_conditions"]
         discharged = row["tp_discharged"]
-        propagated = None if conditions is None else conditions - discharged
+        reused = row["tp_reused"]
+        propagated = None if conditions is None else conditions - discharged - reused
         rows.append(
             (
                 row["benchmark"],
@@ -150,6 +159,8 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
                 row["tp_classes"],
                 discharged,
                 propagated,
+                row["tp_delta"],
+                reused,
                 row["tp_total_s"],
             )
         )

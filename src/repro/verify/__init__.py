@@ -33,8 +33,10 @@ deprecated shims over this API and produce identical verdicts.
 
 from repro.verify.reports import Report, VERDICTS, is_report
 from repro.verify.session import Session, verify
+from repro.verify.store import DEFAULT_STORE_DIR, DeltaStore, STORE_VERSION, default_store_path
 from repro.verify.strategies import (
     BACKENDS,
+    DELTA_MODES,
     Modular,
     Monolithic,
     STRATEGY_REGISTRY,
@@ -47,9 +49,13 @@ from repro.verify.strategies import (
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_STORE_DIR",
+    "DELTA_MODES",
+    "DeltaStore",
     "Modular",
     "Monolithic",
     "Report",
+    "STORE_VERSION",
     "STRATEGY_REGISTRY",
     "Session",
     "Strategy",

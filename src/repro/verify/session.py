@@ -29,10 +29,17 @@ from __future__ import annotations
 
 import random
 import time as _time
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.core.annotations import AnnotatedNetwork
-from repro.core.results import ConditionResult, merge_reports
+from repro.core.conditions import CONDITION_KINDS
+from repro.core.fingerprint import (
+    dependency_fingerprints,
+    network_fingerprint,
+    node_condition_fingerprints,
+    strategy_signature,
+)
+from repro.core.results import ConditionResult, NodeReport, merge_reports
 from repro.core.symmetry import partition_nodes
 from repro.errors import VerificationError
 from repro.routing.algebra import Network
@@ -42,6 +49,7 @@ from repro.smt.incremental import (
     process_cache_statistics,
     subtract_cache_statistics,
 )
+from repro.verify.store import DeltaStore, default_store_path
 from repro.verify.strategies import Modular, Strategy, Strawperson
 
 
@@ -301,6 +309,99 @@ def _consume_batches(
     return reports, (totals if strategy.incremental else None), stopped_early
 
 
+def _delta_kinds(strategy: Modular) -> tuple[str, ...]:
+    """The requested condition kinds, in canonical discharge order."""
+    return tuple(kind for kind in CONDITION_KINDS if kind in strategy.conditions)
+
+
+def _open_delta_store(session: Session, strategy: Modular) -> DeltaStore:
+    """Load (fail-soft) the store for this session's (network, strategy) pair."""
+    network = network_fingerprint(session.annotated)
+    signature = strategy_signature(strategy.delay, strategy.conditions)
+    path = strategy.store or default_store_path(network, signature)
+    return DeltaStore.open(path, network=network, strategy=signature)
+
+
+def _reused_report(
+    node: str, kinds: Sequence[str], propagated_from: str | None = None
+) -> NodeReport:
+    """A node report whose verdicts all come from the delta store.
+
+    Reused verdicts are always passes (the store never records failures) and
+    cost no solver time; the kinds arrive in canonical discharge order so
+    ``condition_verdicts`` of a warm run is byte-identical to a cold one.
+    """
+    results = [
+        ConditionResult(
+            node=node,
+            condition=kind,
+            holds=True,
+            duration=0.0,
+            propagated_from=propagated_from,
+            reused=True,
+        )
+        for kind in kinds
+    ]
+    return NodeReport(node=node, results=results, duration=0.0)
+
+
+def _store_reuses(
+    store: DeltaStore,
+    annotated: AnnotatedNetwork,
+    strategy: Modular,
+    node: str,
+    dependency: str,
+    kinds: Sequence[str],
+) -> bool:
+    """Whether the store can supply all of ``node``'s verdicts.
+
+    Fast path: the node's recorded dependency fingerprint matches, deciding
+    reuse without building any condition.  Slow path: the invalidation key
+    changed, but every requested condition's exact content hash is still
+    recorded as proved — a reverted config edit, or a node isomorphic to one
+    proved under another name — in which case the node entry is refreshed so
+    the next run takes the fast path again.  A slow-path hit is reuse at its
+    soundest: the content hash *is* the query.
+    """
+    if store.reusable(node, dependency, kinds):
+        return True
+    fingerprints = node_condition_fingerprints(
+        annotated, node, delay=strategy.delay, conditions=kinds
+    )
+    if store.has_conditions(fingerprints, kinds):
+        store.record(node, dependency, fingerprints)
+        return True
+    return False
+
+
+def _record_delta_run(
+    store: DeltaStore,
+    annotated: AnnotatedNetwork,
+    strategy: Modular,
+    reports: Sequence[NodeReport],
+    dependencies: Mapping[str, str],
+    kinds: Sequence[str],
+) -> None:
+    """Record this run's fully-passing freshly-checked nodes into the store.
+
+    A node is recorded only when every requested kind received a passing
+    verdict *this run* (discharged, or propagated from its class
+    representative): fail-fast truncation, early stop and failures all leave
+    the node unrecorded, so a warm run can never reuse an unproved verdict.
+    Nodes that were themselves reused keep their existing entries.
+    """
+    for report in reports:
+        if any(result.reused for result in report.results):
+            continue
+        observed = {result.condition for result in report.results if result.holds}
+        if not report.passed or not all(kind in observed for kind in kinds):
+            continue
+        fingerprints = node_condition_fingerprints(
+            annotated, report.node, delay=strategy.delay, conditions=kinds
+        )
+        store.record(report.node, dependencies[report.node], fingerprints)
+
+
 def modular_events(
     session: Session, strategy: Modular, nodes: Sequence[str] | None
 ) -> Iterator[ConditionResult]:
@@ -322,6 +423,15 @@ def modular_events(
     the finalized report records ``stopped_early`` plus how many conditions
     got no verdict (``conditions_skipped`` — never-scheduled nodes, plus
     in-flight batches discarded with the stopped pool).
+
+    With ``strategy.delta == "reuse"`` the engine first loads the fingerprint
+    store and computes every selected node's dependency fingerprint; nodes
+    (or, under symmetry, whole classes, keyed by their representative) whose
+    fingerprints match recorded passing verdicts are emitted up front as
+    zero-cost ``reused`` events, and only the changed remainder reaches the
+    scheduling machinery above.  On normal completion the store is
+    re-recorded with this run's fully-passing nodes and atomically saved;
+    an abandoned stream leaves the store file untouched.
     """
     from repro.core.checker import check_class, check_node
 
@@ -336,6 +446,18 @@ def modular_events(
     cache_delta: dict[str, int] | None = None
     stopped_early = False
     reports = []
+
+    store: DeltaStore | None = None
+    dependencies: dict[str, str] = {}
+    kinds = _delta_kinds(strategy)
+    if strategy.delta == "reuse":
+        # Store load and fingerprinting are part of the run (inside the wall
+        # clock): the warm-run speedup reported by the benchmarks is net of
+        # the delta layer's own overhead.
+        store = _open_delta_store(session, strategy)
+        dependencies = dependency_fingerprints(
+            annotated, selected, delay=strategy.delay, conditions=strategy.conditions
+        )
 
     def snapshot() -> dict[str, int]:
         # Session-owned solvers carry their own counters; otherwise the
@@ -361,17 +483,35 @@ def modular_events(
 
     try:
         if strategy.symmetry == "off":
+            recheck = list(selected)
+            if store is not None:
+                recheck = []
+                for node in selected:
+                    if _store_reuses(store, annotated, strategy, node, dependencies[node], kinds):
+                        report = _reused_report(node, kinds)
+                        reports.append(report)
+                        yield from report.results
+                    else:
+                        recheck.append(node)
             if strategy.parallel > 1:
-                from repro.core.parallel import iter_node_batches
+                if recheck:
+                    from repro.core.parallel import iter_node_batches
 
-                reports, cache_delta, stopped_early = yield from _consume_batches(
-                    iter_node_batches(annotated, selected, jobs=strategy.parallel, **options),
-                    strategy,
-                )
+                    fresh, cache_delta, stopped_early = yield from _consume_batches(
+                        iter_node_batches(
+                            annotated, recheck, jobs=strategy.parallel, **options
+                        ),
+                        strategy,
+                    )
+                    reports.extend(fresh)
+                elif strategy.incremental:
+                    # Nothing to dispatch: no workers ran, so the summed
+                    # worker cache delta is (exactly) zero, not unknown.
+                    cache_delta = {}
             else:
                 if strategy.incremental:
                     cache_before = snapshot()
-                for node in selected:
+                for node in recheck:
                     report = checked(check_node, annotated, node)
                     reports.append(report)
                     yield from report.results
@@ -384,17 +524,51 @@ def modular_events(
             )
             class_count = len(classes)
             if strategy.symmetry == "spot-check":
+                # Spot-member selection stays ahead of the delta filter so the
+                # rng stream — and hence which members a cold and a warm run
+                # re-verify — is identical whatever the store contains.
                 rng = random.Random(strategy.spot_check_seed)
                 for symmetry_class in classes:
                     if len(symmetry_class) > 1:
                         symmetry_class.spot_member = rng.choice(symmetry_class.members[1:])
+            if store is not None:
+                # A class is reusable iff its representative's fingerprints
+                # are: class membership is keyed on term-identical canonical
+                # conditions, so the representative's dependency fingerprint
+                # *is* every member's.
+                recheck_classes = []
+                for symmetry_class in classes:
+                    representative = symmetry_class.representative
+                    if _store_reuses(
+                        store, annotated, strategy, representative,
+                        dependencies[representative], kinds,
+                    ):
+                        for member in symmetry_class.members:
+                            report = _reused_report(
+                                member,
+                                kinds,
+                                propagated_from=(
+                                    None if member == representative else representative
+                                ),
+                            )
+                            reports.append(report)
+                            yield from report.results
+                    else:
+                        recheck_classes.append(symmetry_class)
+                classes = recheck_classes
             if strategy.parallel > 1:
-                from repro.core.parallel import iter_class_batches
+                if classes:
+                    from repro.core.parallel import iter_class_batches
 
-                reports, cache_delta, stopped_early = yield from _consume_batches(
-                    iter_class_batches(annotated, classes, jobs=strategy.parallel, **options),
-                    strategy,
-                )
+                    fresh, cache_delta, stopped_early = yield from _consume_batches(
+                        iter_class_batches(
+                            annotated, classes, jobs=strategy.parallel, **options
+                        ),
+                        strategy,
+                    )
+                    reports.extend(fresh)
+                elif strategy.incremental:
+                    cache_delta = {}
             else:
                 if strategy.incremental:
                     cache_before = snapshot()
@@ -406,10 +580,11 @@ def modular_events(
                     if strategy.stop_on_failure and _batch_failed(class_reports):
                         stopped_early = True
                         break
-            # Classes interleave the node order; restore the selection order so
-            # reports (and counterexample enumeration) are reproducible.
-            order = {node: index for index, node in enumerate(selected)}
-            reports.sort(key=lambda report: order[report.node])
+        # Classes (and the delta layer's reused-first emission) interleave the
+        # node order; restore the selection order so reports (and
+        # counterexample enumeration) are reproducible.
+        order = {node: index for index, node in enumerate(selected)}
+        reports.sort(key=lambda report: order[report.node])
     except GeneratorExit:
         # The consumer abandoned the stream mid-run.  A completed batch
         # leaves its SAT scope open on the pinned solver (the next batch
@@ -422,6 +597,11 @@ def modular_events(
 
     if cache_before is not None:
         cache_delta = subtract_cache_statistics(snapshot(), cache_before)
+    if store is not None:
+        # Only on normal completion: an abandoned stream never reaches here,
+        # so a half-observed run can't overwrite a good store.
+        _record_delta_run(store, annotated, strategy, reports, dependencies, kinds)
+        store.save()
     checked_nodes = {report.node for report in reports}
     conditions_skipped = (
         len(strategy.conditions) * sum(1 for node in selected if node not in checked_nodes)
@@ -438,6 +618,7 @@ def modular_events(
             backend_cache=cache_delta,
             stopped_early=stopped_early,
             conditions_skipped=conditions_skipped,
+            delta=strategy.delta,
         )
     )
 

@@ -40,6 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: condition (the ablation baseline).
 BACKENDS = ("incremental", "persistent", "fresh")
 
+#: Delta re-verification modes: ``off`` re-discharges everything (the
+#: historical behaviour), ``reuse`` consults the on-disk fingerprint store
+#: (:mod:`repro.verify.store`) and only discharges conditions whose inputs
+#: changed since the last recorded run, emitting cached verdicts as
+#: ``reused`` events for the rest.
+DELTA_MODES = ("off", "reuse")
+
 
 class Strategy:
     """Base class of all verification strategies.
@@ -128,6 +135,12 @@ class Modular(Strategy):
     nodes/classes once any completed batch reports a failing condition —
     parallel runs stop dispatching queued work items and terminate the pool,
     and the report records ``stopped_early``/``conditions_skipped``.
+
+    ``delta="reuse"`` (CLI ``--delta reuse``) turns the run change-aware: a
+    fingerprint store persisted between runs (``store``, defaulting to a
+    conventional path) supplies cached verdicts for nodes whose condition
+    inputs are unchanged, so a config edit re-checks only the edited node's
+    neighbourhood and a no-op re-run reuses everything.
     """
 
     name: ClassVar[str] = "modular"
@@ -141,6 +154,16 @@ class Modular(Strategy):
     spot_check_seed: int = 0
     delay: int = 0
     conditions: tuple[str, ...] = CONDITION_KINDS
+    #: Delta re-verification mode (:data:`DELTA_MODES`).  With ``"reuse"``
+    #: the session loads the fingerprint store before the run, emits cached
+    #: verdicts (``ConditionResult.reused``) for unchanged nodes/classes,
+    #: discharges only the changed remainder, and atomically re-records the
+    #: store afterwards.
+    delta: str = "off"
+    #: Store file path for ``delta="reuse"``; ``None`` derives the
+    #: conventional per-(network, strategy) path under
+    #: :data:`repro.verify.store.DEFAULT_STORE_DIR`.
+    store: str | None = None
 
     def __post_init__(self) -> None:
         if self.symmetry not in SYMMETRY_MODES:
@@ -149,6 +172,13 @@ class Modular(Strategy):
             )
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; choose one of {BACKENDS}")
+        if self.delta not in DELTA_MODES:
+            raise ValueError(f"unknown delta mode {self.delta!r}; choose one of {DELTA_MODES}")
+        if self.store is not None and self.delta == "off":
+            # A store that is never read or written would be a silent no-op.
+            raise ValueError('store requires delta="reuse"')
+        if self.store is not None and not isinstance(self.store, str):
+            raise ValueError(f"store must be a path string or None, got {self.store!r}")
         if self.parallel < 1:
             raise ValueError(f"parallel must be a positive worker count, got {self.parallel}")
         for flag in ("fail_fast", "stop_on_failure"):
@@ -184,8 +214,8 @@ class Modular(Strategy):
 
         Every :class:`Modular` field must either appear here or steer the
         engine loop itself (``symmetry``, ``backend``, ``parallel``,
-        ``stop_on_failure``, ``spot_check_seed``); the strategy regression
-        test enforces that no field is silently dropped.
+        ``stop_on_failure``, ``spot_check_seed``, ``delta``, ``store``); the
+        strategy regression test enforces that no field is silently dropped.
         """
         return {
             "delay": self.delay,

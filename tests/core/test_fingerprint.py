@@ -1,0 +1,221 @@
+"""Tests for the stable content fingerprints of :mod:`repro.core.fingerprint`."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import smt
+from repro.core.conditions import CONDITION_KINDS, node_conditions
+from repro.core.fingerprint import (
+    clear_fingerprint_cache,
+    condition_fingerprint,
+    dependency_fingerprints,
+    fingerprint_statistics,
+    fingerprint_term,
+    network_fingerprint,
+    node_condition_fingerprints,
+    node_dependency_fingerprint,
+    strategy_signature,
+)
+from repro.core.symmetry import partition_nodes
+from repro.networks import registry
+from repro.networks.benchmarks import inject_interface_failure
+
+
+@pytest.fixture(scope="module")
+def reach_annotated():
+    return registry.build("fattree/reach", pods=4).annotated
+
+
+class TestTermFingerprints:
+    def test_equal_structure_equal_digest(self):
+        x = smt.bv_var("fp_x", 4)
+        left = smt.bv_add(x, smt.bv_const(1, 4))
+        right = smt.bv_add(smt.bv_var("fp_x", 4), smt.bv_const(1, 4))
+        assert fingerprint_term(left) == fingerprint_term(right)
+
+    def test_structure_payload_and_sort_all_distinguish(self):
+        x4 = smt.bv_var("fp_x", 4)
+        digests = {
+            fingerprint_term(x4),
+            fingerprint_term(smt.bv_var("fp_y", 4)),  # payload differs
+            fingerprint_term(smt.bv_var("fp_x", 8)),  # sort differs
+            fingerprint_term(smt.bv_add(x4, smt.bv_const(1, 4))),  # op differs
+            fingerprint_term(smt.bv_add(x4, smt.bv_const(2, 4))),  # child differs
+        }
+        assert len(digests) == 5
+
+    def test_commutative_operands_digest_order_insensitively(self):
+        """Regression: the builder orders ``eq`` operands by interning
+        counter (``term_id``), which varies with process history — the
+        fingerprint must not.  Raw terms bypass the builder normalization so
+        both operand orders actually exist here."""
+        from repro.smt.sorts import BOOL
+        from repro.smt.terms import OP_AND, OP_EQ, Term
+
+        x = smt.bv_var("fp_cx", 4)
+        y = smt.bv_var("fp_cy", 4)
+        forward = Term(OP_EQ, (x, y), None, BOOL)
+        backward = Term(OP_EQ, (y, x), None, BOOL)
+        assert forward is not backward
+        assert fingerprint_term(forward) == fingerprint_term(backward)
+        a, b = smt.bool_var("fp_ca"), smt.bool_var("fp_cb")
+        assert fingerprint_term(Term(OP_AND, (a, b), None, BOOL)) == fingerprint_term(
+            Term(OP_AND, (b, a), None, BOOL)
+        )
+        # Non-commutative comparisons keep their operand order.
+        assert fingerprint_term(smt.bv_ult(x, y)) != fingerprint_term(smt.bv_ult(y, x))
+
+    def test_digest_is_hex_and_survives_cache_clear(self):
+        term = smt.and_(smt.bool_var("fp_a"), smt.bool_var("fp_b"))
+        first = fingerprint_term(term)
+        assert len(first) == 64 and int(first, 16) >= 0
+        clear_fingerprint_cache()
+        assert fingerprint_statistics()["memoised_terms"] == 0
+        assert fingerprint_term(term) == first
+
+    def test_deep_terms_do_not_overflow_recursion(self):
+        term = smt.bool_var("fp_deep")
+        for _ in range(sys.getrecursionlimit() + 100):
+            term = smt.not_(term)
+        assert len(fingerprint_term(term)) == 64
+
+
+class TestConditionFingerprints:
+    def test_every_kind_fingerprinted(self, reach_annotated):
+        fingerprints = node_condition_fingerprints(reach_annotated, reach_annotated.nodes[0])
+        assert set(fingerprints) == set(CONDITION_KINDS)
+        assert len(set(fingerprints.values())) == len(CONDITION_KINDS)
+
+    def test_method_agrees_with_module_function(self, reach_annotated):
+        node = reach_annotated.nodes[0]
+        for condition in node_conditions(reach_annotated, node, naming="class"):
+            assert condition.fingerprint() == condition_fingerprint(condition)
+
+    def test_condition_subset_respected(self, reach_annotated):
+        fingerprints = node_condition_fingerprints(
+            reach_annotated, reach_annotated.nodes[0], conditions=("safety",)
+        )
+        assert set(fingerprints) == {"safety"}
+
+    def test_isomorphic_nodes_share_fingerprints(self, reach_annotated):
+        """Class-canonical naming erases node identity from the digest."""
+        classes = partition_nodes(reach_annotated, reach_annotated.nodes)
+        largest = max(classes, key=len)
+        assert len(largest) > 1
+        reference = node_condition_fingerprints(reach_annotated, largest.representative)
+        for member in largest.members:
+            assert node_condition_fingerprints(reach_annotated, member) == reference
+
+
+class TestDependencyFingerprints:
+    def test_stable_across_cache_clears(self, reach_annotated):
+        node = reach_annotated.nodes[0]
+        first = node_dependency_fingerprint(reach_annotated, node)
+        clear_fingerprint_cache()
+        assert node_dependency_fingerprint(reach_annotated, node) == first
+
+    def test_edit_invalidates_exactly_the_neighbourhood(self, reach_annotated):
+        """Editing one interface changes the edited node and its successors."""
+        edited, poisoned = inject_interface_failure(reach_annotated)
+        before = dependency_fingerprints(reach_annotated, reach_annotated.nodes)
+        after = dependency_fingerprints(edited, edited.nodes)
+        successors = {
+            node
+            for node in reach_annotated.nodes
+            if poisoned in reach_annotated.network.topology.predecessors(node)
+        }
+        changed = {node for node in reach_annotated.nodes if before[node] != after[node]}
+        assert changed == {poisoned} | successors
+
+    def test_delay_changes_the_fingerprint(self, reach_annotated):
+        node = reach_annotated.nodes[0]
+        assert node_dependency_fingerprint(
+            reach_annotated, node, delay=0
+        ) != node_dependency_fingerprint(reach_annotated, node, delay=1)
+
+
+class TestStoreIdentityKeys:
+    def test_network_fingerprint_ignores_annotations(self, reach_annotated):
+        edited, _ = inject_interface_failure(reach_annotated)
+        assert network_fingerprint(edited) == network_fingerprint(reach_annotated)
+
+    def test_network_fingerprint_tracks_topology(self, reach_annotated):
+        other = registry.build("fattree/reach", pods=6).annotated
+        assert network_fingerprint(other) != network_fingerprint(reach_annotated)
+
+    def test_strategy_signature_covers_verdict_knobs_only(self):
+        base = strategy_signature(0, CONDITION_KINDS)
+        assert strategy_signature(1, CONDITION_KINDS) != base
+        assert strategy_signature(0, ("initial",)) != base
+        # Kind order is canonicalized: the same proof obligation, the same key.
+        assert strategy_signature(0, ("safety", "initial", "inductive")) == base
+
+
+#: Run by the subprocess determinism test below; prints every fingerprint kind
+#: for a small benchmark as sorted JSON.  The single-destination Reach
+#: benchmark draws no gensym'd (``fresh_name``) variables, so its
+#: fingerprints are independent of the process-wide name counter and can be
+#: compared against the (counter-advanced) pytest process itself.
+_SUBPROCESS_SCRIPT = """
+import json
+from repro.core.fingerprint import (
+    network_fingerprint, node_condition_fingerprints,
+    node_dependency_fingerprint, strategy_signature,
+)
+from repro.core.conditions import CONDITION_KINDS
+from repro.networks import registry
+
+annotated = registry.build("fattree/reach", pods=4).annotated
+print(json.dumps({
+    "network": network_fingerprint(annotated),
+    "strategy": strategy_signature(0, CONDITION_KINDS),
+    "conditions": {n: node_condition_fingerprints(annotated, n) for n in annotated.nodes},
+    "dependencies": {n: node_dependency_fingerprint(annotated, n) for n in annotated.nodes},
+}, sort_keys=True))
+"""
+
+
+class TestProcessIndependence:
+    def test_fingerprints_identical_across_hash_seeds(self):
+        """The store's keys must never depend on ``PYTHONHASHSEED``.
+
+        Two subprocesses with deliberately different hash seeds (and hence
+        different ``id()``s, dict orders and ``hash()`` values) must print
+        byte-identical fingerprints — and agree with this process's own.
+        """
+        source_root = str(Path(repro.__file__).resolve().parents[1])
+        outputs = []
+        for seed in ("0", "424242"):
+            environment = dict(os.environ)
+            environment["PYTHONHASHSEED"] = seed
+            environment["PYTHONPATH"] = source_root + os.pathsep + environment.get(
+                "PYTHONPATH", ""
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=environment,
+                check=True,
+            )
+            outputs.append(json.loads(completed.stdout))
+        assert outputs[0] == outputs[1]
+
+        annotated = registry.build("fattree/reach", pods=4).annotated
+        local = {
+            "network": network_fingerprint(annotated),
+            "strategy": strategy_signature(0, CONDITION_KINDS),
+            "conditions": {
+                n: node_condition_fingerprints(annotated, n) for n in annotated.nodes
+            },
+            "dependencies": {
+                n: node_dependency_fingerprint(annotated, n) for n in annotated.nodes
+            },
+        }
+        assert local == outputs[0]

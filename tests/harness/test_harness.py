@@ -15,6 +15,7 @@ from repro.harness import (
     scaling_table,
     sweep_fattree,
     sweep_wan,
+    symmetry_table,
 )
 from repro.networks import registry
 from repro.verify import Modular, Monolithic
@@ -112,6 +113,39 @@ class TestSweeps:
 
         json.dumps(records)  # must be serialisable as-is
 
+    def test_json_records_round_trip_delta_counters(self, tmp_path):
+        """Regression: the delta reuse counters must survive the full
+        as_row/to_json path so ``--json``/``BENCH_*.json`` trajectories can
+        track reuse rates across PRs."""
+        import json
+
+        benchmark = registry.build("fattree/reach", pods=4)
+        store = str(tmp_path / "delta.json")
+        strategy = Modular(delta="reuse", store=store)
+
+        def point():
+            return run_point(
+                "unit",
+                benchmark.name,
+                benchmark.annotated,
+                nodes=benchmark.node_count,
+                modular=strategy,
+                monolithic=None,
+            )
+
+        cold, warm = point(), point()
+        record = json.loads(json.dumps(results_to_json([cold, warm])))
+        cold_row, warm_row = record[0]["row"], record[1]["row"]
+        assert cold_row["tp_delta"] == warm_row["tp_delta"] == "reuse"
+        assert cold_row["tp_reused"] == 0
+        assert cold_row["tp_recheck"] == cold_row["tp_conditions"]
+        assert warm_row["tp_reused"] == warm_row["tp_conditions"] > 0
+        assert warm_row["tp_recheck"] == 0
+        modular = record[1]["modular"]
+        assert modular["delta"] == "reuse"
+        assert modular["conditions_reused"] == warm_row["tp_reused"]
+        assert modular["conditions_recheck"] == 0
+
     def test_legacy_positional_sweep_settings_still_work(self):
         from repro.harness import scaling_comparison
 
@@ -167,6 +201,19 @@ class TestTables:
         assert "nodes" in scaling and "20" in scaling
         figure = figure14_table(results)
         assert "SpReach" in figure and "Tp median [s]" in figure
+
+    def test_symmetry_table_partitions_conditions(self, tmp_path):
+        """The --stats table: discharged + propagated + reused = conditions."""
+        store = str(tmp_path / "delta.json")
+        strategy = Modular(delta="reuse", store=store, symmetry="classes")
+        cold = sweep_fattree("reach", [4], modular=strategy, monolithic=None)
+        warm = sweep_fattree("reach", [4], modular=strategy, monolithic=None)
+        table = symmetry_table(cold + warm)
+        assert "reused" in table and "delta" in table and "reuse" in table
+        warm_row = warm[0].as_row()
+        assert warm_row["tp_reused"] == warm_row["tp_conditions"]
+        assert warm_row["tp_discharged"] == 0
+        assert str(warm_row["tp_reused"]) in table
 
     def test_internet2_table(self):
         results = sweep_wan([4], internal_routers=4, monolithic=None)

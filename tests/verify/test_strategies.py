@@ -8,6 +8,7 @@ from repro.core.conditions import CONDITION_KINDS
 from repro.networks import registry
 from repro.verify import (
     BACKENDS,
+    DELTA_MODES,
     Modular,
     Monolithic,
     STRATEGY_REGISTRY,
@@ -68,6 +69,21 @@ class TestValidation:
     def test_persistent_backend_is_sequential_only(self):
         with pytest.raises(ValueError, match="parallel workers"):
             Modular(backend="persistent", parallel=2)
+
+    def test_unknown_delta_mode_names_the_modes(self):
+        with pytest.raises(ValueError) as excinfo:
+            Modular(delta="cached")
+        for mode in DELTA_MODES:
+            assert mode in str(excinfo.value)
+
+    def test_store_requires_delta_reuse(self):
+        # A store that is never read or written would be a silent no-op.
+        with pytest.raises(ValueError, match="store"):
+            Modular(store="/tmp/somewhere.json")
+        with pytest.raises(ValueError, match="path string"):
+            Modular(delta="reuse", store=42)
+        assert Modular(delta="reuse", store="s.json").store == "s.json"
+        assert Modular(delta="reuse").store is None
 
     def test_strategies_are_frozen(self):
         modular = Modular()
@@ -134,7 +150,15 @@ class TestEveryFieldReachesTheEngine:
     #: in the kwargs of check_node/check_class) vs fields steering the
     #: engine loop itself (asserted individually below).
     OPTION_FIELDS = {"delay": 3, "conditions": ("initial",), "fail_fast": False}
-    LOOP_FIELDS = {"symmetry", "backend", "parallel", "stop_on_failure", "spot_check_seed"}
+    LOOP_FIELDS = {
+        "symmetry",
+        "backend",
+        "parallel",
+        "stop_on_failure",
+        "spot_check_seed",
+        "delta",
+        "store",
+    }
 
     def test_field_inventory_is_complete(self):
         names = {field.name for field in dataclasses.fields(Modular)}
@@ -230,6 +254,18 @@ class TestEveryFieldReachesTheEngine:
         assert stopped.stopped_early and not stopped.passed
         assert stopped.conditions_checked < full.conditions_checked
         assert stopped.conditions_skipped > 0
+
+    def test_delta_and_store_reach_the_engine(self, tmp_path):
+        benchmark = registry.build("ghost/reach")
+        store = str(tmp_path / "delta.json")
+        with Session(benchmark.annotated, Modular(delta="reuse", store=store)) as session:
+            cold = session.run()
+        assert cold.delta == "reuse" and cold.conditions_reused == 0
+        # The store field steered where the engine persisted the run.
+        assert (tmp_path / "delta.json").exists()
+        with Session(benchmark.annotated, Modular(delta="reuse", store=store)) as session:
+            warm = session.run()
+        assert warm.conditions_reused == warm.conditions_checked > 0
 
     def test_symmetry_reaches_the_report(self):
         benchmark = registry.build("fattree/reach", pods=4)
