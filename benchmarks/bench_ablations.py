@@ -373,6 +373,43 @@ def test_benchmark_stop_on_failure_early_termination():
         assert failing and failing <= full_failures, mode
 
 
+def test_benchmark_lint_overhead():
+    """Ablation row: pre-solve lint cost vs a cold modular run (k=8 Reach).
+
+    The static-analysis passes are pure term construction — no bit-blasting,
+    no SAT — so running them ahead of every verification
+    (``Session.run(lint="warn")``) must be noise: under 1% of the cold
+    modular wall time on the ``k=8`` single-destination fattree.  As in the
+    incremental-backend row, best-of-rounds is compared: the first lint run
+    interns terms the verification itself reuses (hash-consing), so the
+    steady-state round is the honest marginal cost of the pre-pass.
+    """
+    from repro.analysis import lint_network
+
+    instance = registry.build("fattree/reach", pods=SYMMETRY_PODS)
+
+    reset_process_solver()
+    reports = [
+        lint_network(instance.annotated, name=instance.name)
+        for _ in range(ABLATION_ROUNDS)
+    ]
+    lint_seconds = min(report.wall_time for report in reports)
+    started = time.perf_counter()
+    verify(instance.annotated)
+    cold_seconds = time.perf_counter() - started
+    reset_process_solver()
+
+    header = f"{'stage':<14} {'total [s]':>10} {'share':>8}"
+    print("\n" + header)
+    print("-" * len(header))
+    print(f"{'lint':<14} {lint_seconds:>10.3f} "
+          f"{100.0 * lint_seconds / cold_seconds:>7.2f}%")
+    print(f"{'cold modular':<14} {cold_seconds:>10.3f} {'100.00%':>8}")
+
+    assert all(report.clean for report in reports)
+    assert lint_seconds < 0.01 * cold_seconds, (lint_seconds, cold_seconds)
+
+
 def test_benchmark_enumeration_backend(benchmark):
     """The naive alternative: enumerate every input assignment and evaluate."""
     from itertools import product

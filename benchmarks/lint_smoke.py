@@ -1,0 +1,138 @@
+"""Static-analysis self-lint smoke check for CI (and a JSON artifact).
+
+Two directions, both required:
+
+* every registry benchmark lints **clean** (info-severity notes allowed —
+  the WAN internal routers deliberately carry ``always_true`` annotations);
+* lint **detects** the three documented seeded mutations — a witness time
+  below propagation distance (TP004), a vacuously-true interface under a
+  non-trivial property (TP002), and an unused community definition (TP010)
+  — with **zero SAT activity**: the global solver statistics and the
+  process-wide bit-blast/Tseitin cache counters must not move.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/lint_smoke.py --out lint-report.json
+
+Exits non-zero when a registry benchmark is dirty, a mutation goes
+undetected, or any lint run touched the solver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro import smt
+from repro.analysis import lint_benchmark, lint_network
+from repro.analysis.mutations import (
+    add_unused_community,
+    lower_witness_time,
+    make_interface_vacuous,
+)
+from repro.config.generator import WanParameters, generate_wan_config
+from repro.networks import registry
+from repro.networks.wan import build_wan_benchmark
+from repro.smt.incremental import process_cache_statistics
+
+#: The documented seeded mutations and the code each must trigger.
+MUTATIONS = ("lower_witness_time", "make_interface_vacuous", "add_unused_community")
+EXPECTED_CODES = {
+    "lower_witness_time": "TP004",
+    "make_interface_vacuous": "TP002",
+    "add_unused_community": "TP010",
+}
+
+
+def _registry_reports() -> list:
+    return [lint_benchmark(registry.build(name)) for name in registry.benchmark_names()]
+
+
+def _mutation_reports() -> dict[str, tuple[str, object]]:
+    """mutation name -> (expected code, lint report on the mutated target)."""
+    reach = registry.build("fattree/reach").annotated
+
+    lowered, node, distance = lower_witness_time(reach)
+    lowered_report = lint_network(lowered, name=f"mutated:witness-time@{node}(d={distance})")
+
+    vacuous, node = make_interface_vacuous(reach)
+    vacuous_report = lint_network(vacuous, name=f"mutated:vacuous-interface@{node}")
+
+    parameters = WanParameters(internal_routers=4, external_peers=2)
+    mutated_text = add_unused_community(generate_wan_config(parameters))
+    wan = build_wan_benchmark(parameters, config_text=mutated_text)
+    wan_report = lint_network(
+        wan.annotated, config=wan.compiled.resolved, name="mutated:unused-community"
+    )
+
+    return {
+        "lower_witness_time": (EXPECTED_CODES["lower_witness_time"], lowered_report),
+        "make_interface_vacuous": (EXPECTED_CODES["make_interface_vacuous"], vacuous_report),
+        "add_unused_community": (EXPECTED_CODES["add_unused_community"], wan_report),
+    }
+
+
+def run_lint_smoke() -> tuple[bool, dict]:
+    solver_before = smt.GLOBAL_STATISTICS.snapshot()
+    cache_before = dict(process_cache_statistics())
+
+    reports = _registry_reports()
+    mutations = _mutation_reports()
+
+    solver_delta = smt.GLOBAL_STATISTICS.since(solver_before)
+    cache_after = dict(process_cache_statistics())
+
+    dirty = [report.target for report in reports if not report.clean]
+    missed = {
+        name: (code, report.codes())
+        for name, (code, report) in mutations.items()
+        if code not in report.codes()
+    }
+    sat_untouched = solver_delta.checks == 0 and cache_after == cache_before
+    ok = not dirty and not missed and sat_untouched
+
+    payload = {
+        "registry": [report.to_json() for report in reports],
+        "mutations": {
+            name: {"expected_code": code, "report": report.to_json()}
+            for name, (code, report) in mutations.items()
+        },
+        "dirty_benchmarks": dirty,
+        "missed_mutations": {name: expected for name, (expected, _) in missed.items()},
+        "sat_checks": solver_delta.checks,
+        "sat_untouched": sat_untouched,
+        "ok": ok,
+    }
+
+    for report in reports:
+        print(report.summary())
+    for name, (code, report) in mutations.items():
+        detected = code in report.codes()
+        print(f"{name}: expected {code}, found {list(report.codes())} — "
+              f"{'detected' if detected else 'MISSED'}")
+    print(f"solver activity during lint: {solver_delta.checks} checks, "
+          f"cache counters {'unchanged' if cache_after == cache_before else 'MOVED'}")
+    return ok, payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="static-analysis self-lint smoke check")
+    parser.add_argument("--out", default=None, help="write the smoke JSON to this path")
+    arguments = parser.parse_args(argv)
+
+    ok, payload = run_lint_smoke()
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.out}")
+    if not ok:
+        print("lint smoke FAILED", file=sys.stderr)
+        return 1
+    print("lint smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

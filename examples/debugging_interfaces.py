@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Why stable-state modular checking is unsound, and how temporal interfaces fix it.
+"""Lint-first interface debugging on the §2.2/§2.3 running example.
 
-This example reproduces the §2.2/§2.3 story on the running example:
+The paper's story is that bad interfaces are caught by the temporal
+procedure's SAT checks.  This reproduction adds a cheaper first line of
+defence: pre-solve static analysis (``repro.analysis``) that finds the same
+mistakes in milliseconds, by pure term construction and constant folding.
+The example walks the layers in the order a user would meet them:
 
-1. the *strawperson* procedure (one local stable-state step per node) accepts
-   interfaces that circularly justify each other and exclude the routes the
-   real network computes — so a user could wrongly conclude ``e`` never
-   receives a route from ``w``;
-2. the simulator shows those interfaces are wrong (``v`` really does hold the
-   route ⟨100, 1, true⟩);
-3. the temporal procedure rejects the same interfaces with a counterexample
-   at time 0, and still rejects the "patched" variant that adds ``∞`` — the
-   error just moves one step forward in time, exactly as the paper explains.
+1. the *strawperson* procedure (one local stable-state step per node)
+   accepts interfaces that circularly justify each other — the unsound
+   baseline the paper opens with;
+2. **lint** rejects those interfaces instantly: ``v``/``d`` demand a route
+   at time 0 while sitting 1 and 2 hops from the only origin (TP004, the
+   classic witness-time bug) and their initial conditions provably cannot
+   hold (TP006) — no solver involved;
+3. ``verify(..., lint="strict")`` wires that in: it raises before any SAT
+   dispatch, so a doomed run fails in milliseconds, not minutes;
+4. the "patched" variant (adding ``∨ s = ∞``) is *conservatively clean*
+   under lint — and that is the point of layering: the temporal SAT checks
+   still reject it with a counterexample at time 1, exactly as §2.3
+   explains.  Lint catches the cheap class of mistakes early; the solver
+   catches the rest.
 
 Run with::
 
@@ -21,6 +30,8 @@ Run with::
 from __future__ import annotations
 
 from repro import core
+from repro.analysis import lint_network
+from repro.errors import AnalysisError
 from repro.routing import build_running_example, simulate
 from repro.symbolic import SymBool
 from repro.verify import Strawperson, verify
@@ -45,15 +56,7 @@ def main() -> None:
     print(f"  strawperson verdict: every node passes = {strawperson.passed}")
     assert strawperson.passed, "the unsound procedure should accept the circular interfaces"
 
-    print("\nStep 2: but the real network violates them (simulate the closed network)")
-    closed = build_running_example("none")
-    stable = simulate(closed.network).stable_state()
-    v_route = stable["v"]
-    print(f"  the simulator computes v's stable route = lp={v_route['lp']}, "
-          f"len={v_route['len']}, tag={v_route['tag']}")
-    print("  ... which the interface 's.lp = 200 ∧ ¬s.tag' wrongly excludes.")
-
-    print("\nStep 3: the temporal procedure rejects the same interfaces (t = 0)")
+    print("\nStep 2: lint rejects the temporal versions before any solver runs")
     temporal = {
         "n": core.always_true(),
         "w": core.globally(lambda r: r.is_some & (r.payload.lp == 100)),
@@ -61,22 +64,44 @@ def main() -> None:
         "d": core.globally(spurious),
         "e": core.globally(no_route),
     }
-    report = verify(core.annotate(network, temporal))
-    assert not report.passed
-    print(f"  rejected at nodes {sorted(report.failed_nodes)}")
-    print("  " + report.counterexamples()[0].describe().replace("\n", "\n  "))
+    annotated = core.annotate(network, temporal)
+    report = lint_network(annotated, name="running-example")
+    print("  " + report.describe().replace("\n", "\n  "))
+    assert not report.clean
+    assert "TP004" in report.codes(), "v and d demand a route before it can arrive"
+    # The simulator shows what the interfaces wrongly exclude: v really does
+    # end up holding the route ⟨100, 1, true⟩.
+    stable = simulate(build_running_example("none").network).stable_state()
+    v_route = stable["v"]
+    print(f"  (ground truth: v's stable route is lp={v_route['lp']}, "
+          f"len={v_route['len']}, tag={v_route['tag']})")
 
-    print("\nStep 4: patching the interfaces with '∨ s = ∞' only moves the error to t = 1")
+    print("\nStep 3: strict mode fails fast — no bit-blasting for a doomed run")
+    try:
+        verify(annotated, lint="strict")
+    except AnalysisError as error:
+        first = error.diagnostics[0]
+        print(f"  AnalysisError before dispatch; first finding: {first.code} at {first.node!r}")
+    else:
+        raise AssertionError("strict lint should have rejected these interfaces")
+
+    print("\nStep 4: the patched interfaces ('∨ s = ∞') pass lint — but not SAT")
     patched = dict(temporal)
     patched["v"] = core.globally(lambda r: spurious(r) | r.is_none)
     patched["d"] = core.globally(lambda r: spurious(r) | r.is_none)
-    patched_report = verify(core.annotate(network, patched))
+    patched_annotated = core.annotate(network, patched)
+    patched_lint = lint_network(patched_annotated, name="patched")
+    print(f"  {patched_lint.summary()}")
+    assert patched_lint.clean, "lint is conservative: it cannot refute the patch"
+    patched_report = verify(patched_annotated, lint="warn")
     assert not patched_report.passed
+    assert patched_report.diagnostics == [d for d in patched_lint.diagnostics]
     failure = patched_report.counterexamples()[0]
-    print(f"  still rejected at node {failure.node!r} (condition: {failure.condition}, "
-          f"time {failure.time})")
+    print(f"  SAT still rejects: node {failure.node!r} (condition: {failure.condition}, "
+          f"time {failure.time}) — the error moved one step forward in time")
     print("  " + failure.describe().replace("\n", "\n  "))
-    print("\nThere is no way to circumvent the temporal analysis — the interfaces must be fixed.")
+    print("\nLint catches the cheap mistakes in milliseconds; the temporal SAT "
+          "checks catch everything else. The interfaces must be fixed.")
 
 
 if __name__ == "__main__":

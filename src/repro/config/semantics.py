@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config.ast import ConfigFile, PolicyStatement, PrefixListDecl, RouterDecl
+from repro.config.ast import ConfigFile, PolicyStatement, PrefixListDecl, RouterDecl, SourceLocation
 from repro.errors import ConfigSemanticError
 
 
@@ -92,6 +92,143 @@ def _index_unique(table: dict, entries: list[tuple[str, object]], kind: str) -> 
         if name in table:
             raise ConfigSemanticError(f"duplicate {kind} declaration {name!r}")
         table[name] = value
+
+
+@dataclass(frozen=True)
+class ConfigFinding:
+    """One config-DSL lint finding (hygiene, not well-formedness).
+
+    Unlike the :class:`~repro.errors.ConfigSemanticError` conditions above,
+    a finding never prevents compilation: the configuration means something,
+    it just probably doesn't mean what its author intended.  Findings are
+    surfaced through the static-analysis layer (:mod:`repro.analysis`),
+    which maps each ``kind`` to a stable diagnostic code and raises
+    :class:`~repro.errors.AnalysisError` in strict mode — keeping
+    :class:`~repro.errors.ConfigSyntaxError` strictly about syntax.
+    """
+
+    kind: str  # one of FINDING_KINDS
+    message: str
+    #: Human-readable context, e.g. ``"policy 'export-to-external'"``.
+    source: str
+    location: SourceLocation | None = None
+
+
+#: The config-lint finding vocabulary.
+FINDING_KINDS = ("unreachable-term", "unused-community", "unused-prefix-list", "shadowed-name")
+
+
+def lint(resolved: ResolvedConfig) -> tuple[ConfigFinding, ...]:
+    """Hygiene lint over a validated configuration.
+
+    Reports, in source order: policy terms shadowed by an earlier
+    catch-all terminal term (first-match evaluation never reaches them),
+    community and prefix-list declarations nothing references, and names
+    declared in more than one namespace (legal — the namespaces are
+    disjoint — but a reliable sign of a copy-paste mistake).
+    """
+    findings: list[ConfigFinding] = []
+    findings.extend(_unreachable_terms(resolved))
+    findings.extend(_unused_definitions(resolved))
+    findings.extend(_shadowed_names(resolved))
+    return tuple(findings)
+
+
+def _unreachable_terms(resolved: ResolvedConfig) -> list[ConfigFinding]:
+    findings: list[ConfigFinding] = []
+    for policy in resolved.policies.values():
+        for index, term in enumerate(policy.terms):
+            if term.matches or term.terminal_action is None:
+                continue
+            # ``term`` matches every route and terminates: later terms are dead.
+            for later in policy.terms[index + 1 :]:
+                findings.append(
+                    ConfigFinding(
+                        kind="unreachable-term",
+                        message=(
+                            f"term {later.name!r} of policy {policy.name!r} is "
+                            f"unreachable: term {term.name!r} before it matches every "
+                            f"route and ends in {term.terminal_action.kind!r}"
+                        ),
+                        source=f"policy {policy.name!r}",
+                        location=later.location,
+                    )
+                )
+            break
+    return findings
+
+
+def _unused_definitions(resolved: ResolvedConfig) -> list[ConfigFinding]:
+    used_communities: set[str] = set()
+    used_prefix_lists: set[str] = set()
+    for policy in resolved.policies.values():
+        for term in policy.terms:
+            for match in term.matches:
+                if match.kind == "community":
+                    used_communities.add(match.argument)
+                elif match.kind == "prefix-list":
+                    used_prefix_lists.add(match.argument)
+            for action in term.actions:
+                if action.kind in ("add-community", "remove-community"):
+                    used_communities.add(action.argument)
+    findings: list[ConfigFinding] = []
+    for declaration in resolved.config.communities:
+        if declaration.name not in used_communities:
+            findings.append(
+                ConfigFinding(
+                    kind="unused-community",
+                    message=(
+                        f"community {declaration.name!r} is declared but never "
+                        "matched or set by any policy"
+                    ),
+                    source=f"community {declaration.name!r}",
+                    location=declaration.location,
+                )
+            )
+    for prefix_list in resolved.config.prefix_lists:
+        if prefix_list.name not in used_prefix_lists:
+            findings.append(
+                ConfigFinding(
+                    kind="unused-prefix-list",
+                    message=(
+                        f"prefix-list {prefix_list.name!r} is declared but never "
+                        "matched by any policy"
+                    ),
+                    source=f"prefix-list {prefix_list.name!r}",
+                    location=prefix_list.location,
+                )
+            )
+    return findings
+
+
+def _shadowed_names(resolved: ResolvedConfig) -> list[ConfigFinding]:
+    namespaces: list[tuple[str, dict]] = [
+        ("community", resolved.communities),
+        ("prefix-list", resolved.prefix_lists),
+        ("policy-statement", resolved.policies),
+        ("router", resolved.routers),
+    ]
+    owners: dict[str, list[str]] = {}
+    for namespace, table in namespaces:
+        for name in table:
+            owners.setdefault(name, []).append(namespace)
+    findings: list[ConfigFinding] = []
+    for name, kinds in owners.items():
+        if len(kinds) < 2:
+            continue
+        findings.append(
+            ConfigFinding(
+                kind="shadowed-name",
+                message=(
+                    f"name {name!r} is declared in {len(kinds)} namespaces "
+                    f"({', '.join(kinds)}); distinct names avoid confusing "
+                    "references"
+                ),
+                source=f"name {name!r}",
+                location=None,
+            )
+        )
+    return findings
 
 
 def _check_policy(policy: PolicyStatement, resolved: ResolvedConfig) -> None:

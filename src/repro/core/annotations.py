@@ -56,12 +56,21 @@ class AnnotatedNetwork:
             for node in nodes:
                 result[node] = lift(annotations(node))
             return result
-        missing = [node for node in nodes if node not in annotations]
+        # Sorted so the message is deterministic regardless of topology or
+        # dict iteration order — error text is asserted on in tests and
+        # diffed across runs in CI logs.
+        missing = sorted(node for node in nodes if node not in annotations)
         if missing:
-            raise VerificationError(f"missing {kind} annotations for nodes {missing}")
-        unknown = [node for node in annotations if node not in nodes]
+            names = ", ".join(repr(node) for node in missing)
+            raise VerificationError(
+                f"missing {kind} annotation for {len(missing)} node(s): {names}"
+            )
+        unknown = sorted(node for node in annotations if node not in nodes)
         if unknown:
-            raise VerificationError(f"{kind} annotations given for unknown nodes {unknown}")
+            names = ", ".join(repr(node) for node in unknown)
+            raise VerificationError(
+                f"{kind} annotation given for {len(unknown)} unknown node(s): {names}"
+            )
         for node in nodes:
             result[node] = lift(annotations[node])
         return result

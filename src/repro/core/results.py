@@ -118,6 +118,12 @@ class ModularReport:
     conditions_skipped: int = 0
     #: The delta re-verification mode the run used ("off" | "reuse").
     delta: str = "off"
+    #: Static-analysis diagnostics attached by ``Session.run(lint="warn")``
+    #: (:class:`repro.analysis.Diagnostic` objects; kept untyped here so the
+    #: core result types stay import-independent of the analysis layer).
+    #: Empty when the run did not lint.  Lint diagnostics never change the
+    #: verdict — ``lint="strict"`` raises before a report exists.
+    diagnostics: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -156,6 +162,7 @@ class ModularReport:
             "max_node_time_s": self.max_node_time,
             "failed_nodes": self.failed_nodes,
             "backend_cache": self.backend_cache,
+            "diagnostics": [diagnostic.to_json() for diagnostic in self.diagnostics],
             "nodes": {
                 node: {
                     "passed": report.passed,
@@ -269,6 +276,13 @@ class ModularReport:
             text += (
                 f"; stopped early on failure ({self.conditions_skipped} conditions skipped)"
             )
+        if self.diagnostics:
+            by_severity: dict[str, int] = {}
+            for diagnostic in self.diagnostics:
+                severity = getattr(diagnostic, "severity", "info")
+                by_severity[severity] = by_severity.get(severity, 0) + 1
+            counts = ", ".join(f"{count} {severity}(s)" for severity, count in sorted(by_severity.items()))
+            text += f"; lint: {counts}"
         return text
 
 

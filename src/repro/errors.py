@@ -52,5 +52,23 @@ class ConfigSemanticError(ReproError):
     """The policy-DSL frontend rejected a well-formed but meaningless config."""
 
 
+class AnalysisError(ReproError):
+    """The static analysis (lint) layer rejected annotations or configuration.
+
+    Raised by ``Session.run(lint="strict")`` and the strict paths of
+    :mod:`repro.analysis` when lint finds error- or warning-severity
+    diagnostics.  Carries the offending diagnostics so callers can render
+    them without re-running the passes.  Distinct from
+    :class:`ConfigSyntaxError`/:class:`ConfigSemanticError`: those reject
+    configurations the compiler cannot consume at all, while analysis
+    findings concern configurations and annotations that are *consumable*
+    but provably wrong or suspicious.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class BenchmarkError(ReproError):
     """A benchmark network or experiment harness was misconfigured."""

@@ -7,6 +7,9 @@ Examples::
     timepiece-bench figure14 --policy hijack --all-pairs --pods 4
     timepiece-bench figure14 --policy reach --symmetry spot-check --stats
     timepiece-bench internet2 --peers 20 40 --timeout 120
+    timepiece-bench figure14 --policy reach --lint strict
+    timepiece-bench lint
+    timepiece-bench lint fattree/reach wan/block_to_external --json lint.json
     timepiece-bench benchmarks
     timepiece-bench table1
     timepiece-bench table2
@@ -28,7 +31,7 @@ import sys
 from typing import Sequence
 
 from repro.core.results import ConditionResult
-from repro.errors import BenchmarkError
+from repro.errors import AnalysisError, BenchmarkError
 from repro.harness.runner import (
     ExperimentResult,
     results_to_json,
@@ -69,6 +72,29 @@ def build_argument_parser() -> argparse.ArgumentParser:
     internet2.add_argument("--peers", type=int, nargs="+", default=[20, 40])
     internet2.add_argument("--internal", type=int, default=10)
     _add_strategy_arguments(internet2)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static-analysis lint of registry benchmarks (no solver work)",
+        description=(
+            "Run the pre-solve static analysis passes over registry benchmarks "
+            "and print their TP0xx diagnostics.  Exits 0 when every report is "
+            "clean (info-severity notes allowed), 1 when any benchmark has "
+            "error- or warning-severity findings, 2 on usage errors."
+        ),
+    )
+    lint.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="registry benchmark names to lint (default: every registered benchmark)",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the lint reports (one record per benchmark) to PATH",
+    )
 
     subparsers.add_parser("benchmarks", help="list the registered benchmarks and parameters")
     subparsers.add_parser("table1", help="ghost state per property (Table 1)")
@@ -131,6 +157,16 @@ def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
             "stop scheduling further nodes/classes after the first failing "
             "batch (parallel runs stop dispatching queued work and terminate "
             "the pool; the report records how many conditions were skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--lint",
+        choices=["warn", "strict"],
+        default=None,
+        help=(
+            "run the static-analysis passes before solving: 'warn' attaches "
+            "diagnostics to the modular reports, 'strict' aborts the sweep "
+            "(exit 1) on any error/warning finding before solver work"
         ),
     )
     parser.add_argument(
@@ -202,6 +238,29 @@ def _emit(arguments: argparse.Namespace, results: list[ExperimentResult]) -> Non
         print(f"wrote {arguments.json}")
 
 
+def _lint_command(arguments: argparse.Namespace) -> int:
+    """``timepiece-bench lint``: self-lint registry benchmarks, no solver."""
+    from repro.analysis import lint_benchmark
+
+    names = list(arguments.benchmarks) or list(registry.benchmark_names())
+    reports = []
+    for name in names:
+        # Unknown names raise BenchmarkError -> usage error (exit 2) in main.
+        report = lint_benchmark(registry.build(name))
+        reports.append(report)
+        print(report.describe())
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump([report.to_json() for report in reports], handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.json}")
+    dirty = [report for report in reports if not report.clean]
+    if dirty:
+        names = ", ".join(report.target or "<unnamed>" for report in dirty)
+        print(f"timepiece-bench: lint: findings in {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _benchmarks_listing() -> str:
     lines = []
     for name in registry.benchmark_names():
@@ -231,6 +290,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     try:
         return _dispatch(arguments, strategies)
+    except AnalysisError as error:
+        # --lint strict: the static analysis rejected the target before any
+        # solver work; the findings are the message.
+        print(f"timepiece-bench: lint: {error}", file=sys.stderr)
+        return 1
     except BenchmarkError as error:
         # Registry parameter validation rejects argv-driven benchmark
         # parameters (e.g. an odd --pods value).
@@ -251,6 +315,7 @@ def _dispatch(
             modular=modular,
             monolithic=monolithic,
             on_event=_observer(arguments, modular),
+            lint=arguments.lint,
         )
         print(scaling_table(results))
         _emit(arguments, results)
@@ -262,6 +327,7 @@ def _dispatch(
             modular=modular,
             monolithic=monolithic,
             on_event=_observer(arguments, modular),
+            lint=arguments.lint,
         )
         print(figure14_table(results))
         _emit(arguments, results)
@@ -272,9 +338,12 @@ def _dispatch(
             modular=modular,
             monolithic=monolithic,
             on_event=_observer(arguments, modular),
+            lint=arguments.lint,
         )
         print(internet2_table(results))
         _emit(arguments, results)
+    elif arguments.command == "lint":
+        return _lint_command(arguments)
     elif arguments.command == "benchmarks":
         print(_benchmarks_listing())
     elif arguments.command == "table1":

@@ -201,6 +201,7 @@ def run_point(
     parameters: dict[str, object] | None = None,
     on_event: EventObserver | None = None,
     settings: SweepSettings | None = None,
+    lint: str | None = None,
 ) -> ExperimentResult:
     """Run one (benchmark, size) point under the given strategies.
 
@@ -210,7 +211,9 @@ def run_point(
     the monolithic baseline emits its single whole-network verdict event —
     so ``--progress`` consumers see baseline verdicts too.  ``settings`` is
     the deprecated legacy knob record and overrides both strategies when
-    passed.
+    passed.  ``lint`` ("warn" | "strict") runs the static-analysis passes
+    once, before the first engine dispatches (strict mode raises
+    :class:`~repro.errors.AnalysisError` with zero solver work).
     """
     if isinstance(modular, SweepSettings):
         # Legacy positional call run_point(exp, name, annotated, nodes,
@@ -227,16 +230,18 @@ def run_point(
         parameters=dict(parameters or {}),
     )
     if modular is not None:
-        result.modular = _observed_run(annotated, modular, on_event)
+        result.modular = _observed_run(annotated, modular, on_event, lint=lint)
+        # Lint once per point: the network is the same for the baseline run.
+        lint = None
     if monolithic is not None:
-        result.monolithic = _observed_run(annotated, monolithic, on_event)
+        result.monolithic = _observed_run(annotated, monolithic, on_event, lint=lint)
     return result
 
 
-def _observed_run(annotated, strategy, on_event: EventObserver | None):
+def _observed_run(annotated, strategy, on_event: EventObserver | None, lint: str | None = None):
     """One engine run with its event stream routed through the observer."""
     with Session(annotated, strategy) as session:
-        for event in session.stream():
+        for event in session.stream(lint=lint):
             if on_event is not None:
                 on_event(event)
         return session.report
@@ -251,6 +256,7 @@ def sweep_fattree(
     experiment: str = "figure14",
     on_event: EventObserver | None = None,
     settings: SweepSettings | None = None,
+    lint: str | None = None,
 ) -> list[ExperimentResult]:
     """Sweep one fattree benchmark over a list of pod counts ``k``."""
     modular, monolithic = _resolve_strategies(modular, monolithic, settings)
@@ -267,6 +273,7 @@ def sweep_fattree(
                 monolithic=monolithic,
                 parameters={"pods": pods},
                 on_event=on_event,
+                lint=lint,
             )
         )
     return results
@@ -280,6 +287,7 @@ def sweep_wan(
     experiment: str = "internet2",
     on_event: EventObserver | None = None,
     settings: SweepSettings | None = None,
+    lint: str | None = None,
 ) -> list[ExperimentResult]:
     """Sweep the BlockToExternal benchmark over external-peer counts."""
     modular, monolithic = _resolve_strategies(modular, monolithic, settings)
@@ -298,6 +306,7 @@ def sweep_wan(
                 monolithic=monolithic,
                 parameters={"internal": internal_routers, "external": peers},
                 on_event=on_event,
+                lint=lint,
             )
         )
     return results
@@ -310,6 +319,7 @@ def scaling_comparison(
     monolithic: Monolithic | None = DEFAULT_MONOLITHIC,
     on_event: EventObserver | None = None,
     settings: SweepSettings | None = None,
+    lint: str | None = None,
 ) -> list[ExperimentResult]:
     """The Figure 1 sweep: modular vs monolithic time as the fattree grows."""
     modular, monolithic = _resolve_strategies(modular, monolithic, settings)
@@ -321,4 +331,5 @@ def scaling_comparison(
         monolithic=monolithic,
         experiment="figure1",
         on_event=on_event,
+        lint=lint,
     )

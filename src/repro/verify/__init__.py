@@ -32,7 +32,7 @@ deprecated shims over this API and produce identical verdicts.
 """
 
 from repro.verify.reports import Report, VERDICTS, is_report
-from repro.verify.session import Session, verify
+from repro.verify.session import LINT_MODES, Session, verify
 from repro.verify.store import DEFAULT_STORE_DIR, DeltaStore, STORE_VERSION, default_store_path
 from repro.verify.strategies import (
     BACKENDS,
@@ -52,6 +52,7 @@ __all__ = [
     "DEFAULT_STORE_DIR",
     "DELTA_MODES",
     "DeltaStore",
+    "LINT_MODES",
     "Modular",
     "Monolithic",
     "Report",

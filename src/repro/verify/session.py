@@ -52,6 +52,13 @@ from repro.smt.incremental import (
 from repro.verify.store import DeltaStore, default_store_path
 from repro.verify.strategies import Modular, Strategy, Strawperson
 
+#: Lint modes accepted by :meth:`Session.stream`/:meth:`Session.run`:
+#: ``"warn"`` runs the static-analysis passes before dispatch and attaches
+#: their diagnostics to the finalized report; ``"strict"`` additionally
+#: raises :class:`~repro.errors.AnalysisError` — before any solver work —
+#: when lint finds error- or warning-severity diagnostics.
+LINT_MODES = ("warn", "strict")
+
 
 class Session:
     """A verification session: a target network under one strategy.
@@ -180,7 +187,9 @@ class Session:
 
     # -- running -----------------------------------------------------------------
 
-    def stream(self, nodes: Sequence[str] | None = None) -> Iterator[ConditionResult]:
+    def stream(
+        self, nodes: Sequence[str] | None = None, *, lint: str | None = None
+    ) -> Iterator[ConditionResult]:
         """One verification run as a stream of per-condition events.
 
         Events arrive in discharge order (per node, or per symmetry class);
@@ -192,6 +201,14 @@ class Session:
         restores the session-owned solver to a clean scope so the next run
         on this session starts sound.
 
+        ``lint`` (one of :data:`LINT_MODES`) runs the pre-solve static
+        analysis passes *eagerly*, before this call returns and before any
+        condition is dispatched: ``"strict"`` raises
+        :class:`~repro.errors.AnalysisError` when the target has error- or
+        warning-severity diagnostics (failing fast, with zero solver work);
+        ``"warn"`` lets the run proceed and attaches the diagnostics to the
+        finalized report (``report.diagnostics``).
+
         At most one stream is live per session: starting a new run
         deterministically cancels an abandoned in-flight one (its iterator
         is closed and raises ``StopIteration`` thereafter) — interleaving
@@ -202,6 +219,20 @@ class Session:
         """
         if self._closed:
             raise VerificationError("session is closed")
+        lint_report = None
+        if lint is not None:
+            if lint not in LINT_MODES:
+                raise VerificationError(
+                    f"unknown lint mode {lint!r}; choose one of {LINT_MODES}"
+                )
+            from repro.analysis import lint_network
+
+            # Eager on purpose: strict mode must fail fast at call time, and
+            # warn mode's diagnostics must exist even if the stream is later
+            # abandoned mid-run.  Lint never touches the solver.
+            lint_report = lint_network(self.annotated)
+            if lint == "strict":
+                lint_report.raise_for_findings(context=f"session target {self.target!r}")
         if self._active_stream is not None:
             self._active_stream.close()
             self._active_stream = None
@@ -210,6 +241,8 @@ class Session:
         def guarded() -> Iterator[ConditionResult]:
             try:
                 yield from inner
+                if lint_report is not None and hasattr(self._report, "diagnostics"):
+                    self._report.diagnostics = list(lint_report.diagnostics)
             finally:
                 if self._active_stream is generator:
                     self._active_stream = None
@@ -218,9 +251,14 @@ class Session:
         self._active_stream = generator
         return generator
 
-    def run(self, nodes: Sequence[str] | None = None) -> Any:
-        """Run to completion and return the finalized report."""
-        for _ in self.stream(nodes):
+    def run(self, nodes: Sequence[str] | None = None, *, lint: str | None = None) -> Any:
+        """Run to completion and return the finalized report.
+
+        ``lint="warn"`` attaches static-analysis diagnostics to the report;
+        ``lint="strict"`` raises :class:`~repro.errors.AnalysisError` before
+        any solver work when lint is not clean (see :meth:`stream`).
+        """
+        for _ in self.stream(nodes, lint=lint):
             pass
         return self.report
 
@@ -240,6 +278,8 @@ def verify(
     target: AnnotatedNetwork | Network,
     strategy: Strategy | None = None,
     nodes: Sequence[str] | None = None,
+    *,
+    lint: str | None = None,
 ) -> Any:
     """One-shot convenience: run ``strategy`` over ``target`` in a fresh session.
 
@@ -249,9 +289,10 @@ def verify(
         verify(annotated, Modular(symmetry="classes"))
         verify(annotated, Monolithic(timeout=60))
         verify(network, Strawperson(interfaces=stable))
+        verify(annotated, lint="strict")             # lint before solving
     """
     with Session(target, strategy) as session:
-        return session.run(nodes=nodes)
+        return session.run(nodes=nodes, lint=lint)
 
 
 # ---------------------------------------------------------------------------

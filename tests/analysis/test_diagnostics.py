@@ -1,0 +1,102 @@
+"""Tests for the diagnostic model: codes, reports, strict-mode raising."""
+
+import pytest
+
+from repro.analysis import CODES, SEVERITIES, Diagnostic, LintReport, diagnostic, merge_lint_reports
+from repro.errors import AnalysisError
+
+
+class TestDiagnostic:
+    def test_every_code_has_a_fixed_severity(self):
+        for code, (severity, title) in CODES.items():
+            assert severity in SEVERITIES
+            assert title
+            assert diagnostic(code, "msg").severity == severity
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(AnalysisError):
+            diagnostic("TP999", "nope")
+
+    def test_describe_includes_code_severity_and_location(self):
+        finding = diagnostic("TP004", "too early", node="core-0", condition="inductive")
+        line = finding.describe()
+        assert line.startswith("TP004 error")
+        assert "[core-0/inductive]" in line
+        assert "too early" in line
+
+    def test_config_location_rendering(self):
+        finding = diagnostic("TP010", "unused", source="community 'GOLD'", line=3, column=1)
+        assert "community 'GOLD' (line 3, column 1)" in finding.location()
+
+    def test_to_json_round_trips_all_fields(self):
+        finding = diagnostic("TP001", "bad sort", node="a", term_path="goal/and[0]")
+        payload = finding.to_json()
+        assert payload["code"] == "TP001"
+        assert payload["severity"] == "error"
+        assert payload["term_path"] == "goal/and[0]"
+        assert Diagnostic(**{k: payload[k] for k in (
+            "code", "message", "node", "condition", "term_path", "source", "line", "column"
+        )}) == finding
+
+    def test_diagnostics_sort_deterministically(self):
+        a = diagnostic("TP002", "m", node="a")
+        b = diagnostic("TP004", "m", node="a")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestLintReport:
+    def _report(self, *codes):
+        return LintReport(diagnostics=tuple(diagnostic(code, "msg") for code in codes))
+
+    def test_clean_allows_infos(self):
+        assert self._report().clean
+        assert self._report("TP007").clean
+        assert not self._report("TP002").clean
+        assert not self._report("TP004").clean
+
+    def test_by_severity_partitions(self):
+        report = self._report("TP004", "TP002", "TP007", "TP003")
+        assert [d.code for d in report.errors] == ["TP004", "TP003"]
+        assert [d.code for d in report.warnings] == ["TP002"]
+        assert [d.code for d in report.infos] == ["TP007"]
+        with pytest.raises(AnalysisError):
+            report.by_severity("fatal")
+
+    def test_codes_sorted_and_by_code(self):
+        report = self._report("TP007", "TP004", "TP004")
+        assert report.codes() == ("TP004", "TP007")
+        assert len(report.by_code("TP004")) == 2
+        with pytest.raises(AnalysisError):
+            report.by_code("TP999")
+
+    def test_summary_counts(self):
+        report = self._report("TP004", "TP007")
+        assert "1 error(s)" in report.summary()
+        assert "1 info(s)" in report.summary()
+        assert "lint clean" in self._report().summary()
+
+    def test_raise_for_findings_carries_offenders_only(self):
+        report = self._report("TP004", "TP007")
+        with pytest.raises(AnalysisError) as excinfo:
+            report.raise_for_findings(context="unit test")
+        assert "unit test" in str(excinfo.value)
+        assert [d.code for d in excinfo.value.diagnostics] == ["TP004"]
+        self._report("TP007").raise_for_findings()  # clean: no raise
+
+    def test_merge_concatenates_and_dedupes_pass_names(self):
+        merged = merge_lint_reports(
+            [
+                LintReport(diagnostics=(diagnostic("TP004", "m"),), passes=("a", "b"), wall_time=0.1),
+                LintReport(diagnostics=(diagnostic("TP010", "m"),), passes=("b", "c"), wall_time=0.2),
+            ],
+            target="merged",
+        )
+        assert merged.codes() == ("TP004", "TP010")
+        assert merged.passes == ("a", "b", "c")
+        assert merged.wall_time == pytest.approx(0.3)
+        assert merged.target == "merged"
+
+    def test_iteration_and_length(self):
+        report = self._report("TP004", "TP007")
+        assert len(report) == 2
+        assert [d.code for d in report] == ["TP004", "TP007"]

@@ -10,6 +10,7 @@ from repro.config import (
     load_config,
     parse_config,
 )
+from repro.config.semantics import lint
 from repro.errors import BenchmarkError, ConfigSemanticError
 from repro.routing import simulate
 
@@ -85,6 +86,71 @@ class TestSemantics:
         """
         with pytest.raises(ConfigSemanticError):
             analyze(parse_config(source))
+
+
+#: A configuration where every declaration is referenced — the lint baseline.
+TIDY = """
+community GOLD members 65535:1;
+prefix-list internal { 10; }
+policy-statement keep {
+    term pick { from { prefix-list internal; } then { accept; } }
+    term tag { from { community GOLD; } then { accept; } }
+}
+router a {
+    announce prefix 10;
+    neighbor b { import keep; export keep; }
+}
+router b {
+    neighbor a { import keep; export keep; }
+}
+"""
+
+
+class TestConfigLint:
+    """Hygiene findings: consumable configs that probably don't mean what
+    their author intended.  The static-analysis layer maps these to TP009–
+    TP012 diagnostics (see tests/analysis/test_passes.py)."""
+
+    def _findings(self, source):
+        return lint(analyze(parse_config(source)))
+
+    def test_tidy_config_has_no_findings(self):
+        assert self._findings(TIDY) == ()
+
+    def test_unreachable_terms_after_catch_all(self):
+        source = TIDY + (
+            "\npolicy-statement both {"
+            " term all { then { accept; } }"
+            " term late { then { reject; } } }\n"
+        )
+        [finding] = self._findings(source)
+        assert finding.kind == "unreachable-term"
+        assert "'late'" in finding.message and "'all'" in finding.message
+        assert finding.source == "policy 'both'"
+        assert finding.location is not None
+
+    def test_unused_community_and_prefix_list(self):
+        source = TIDY + "\ncommunity SPARE members 65535:9;\nprefix-list idle { 42; }\n"
+        findings = self._findings(source)
+        assert {finding.kind for finding in findings} == {
+            "unused-community",
+            "unused-prefix-list",
+        }
+        messages = " ".join(finding.message for finding in findings)
+        assert "'SPARE'" in messages and "'idle'" in messages
+
+    def test_shadowed_names_across_namespaces(self):
+        source = TIDY + "\npolicy-statement GOLD { term t { then { accept; } } }\n"
+        [finding] = self._findings(source)
+        assert finding.kind == "shadowed-name"
+        assert "'GOLD'" in finding.message
+        assert "community" in finding.message and "policy-statement" in finding.message
+
+    def test_findings_never_block_compilation(self):
+        source = TIDY + "\ncommunity SPARE members 65535:9;\n"
+        resolved = analyze(parse_config(source))
+        assert self._findings(source)
+        assert "SPARE" in resolved.community_names
 
 
 POLICY_BEHAVIOUR = """

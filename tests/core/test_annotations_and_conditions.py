@@ -59,6 +59,24 @@ class TestAnnotatedNetwork:
         annotated = reach_example().with_property_as_interface()
         assert annotated.interface("n2").max_witness == 2
 
+    def test_missing_annotation_message_lists_nodes_sorted(self):
+        network = shortest_path_network(path_topology(3), "n0")
+        with pytest.raises(VerificationError) as excinfo:
+            core.AnnotatedNetwork(network, {}, {})
+        assert "missing interface annotation for 3 node(s): 'n0', 'n1', 'n2'" in str(
+            excinfo.value
+        )
+
+    def test_unknown_annotation_message_lists_nodes_sorted(self):
+        network = shortest_path_network(path_topology(2), "n0")
+        complete = {node: core.always_true() for node in network.topology.nodes}
+        extras = {**complete, "zzz": core.always_true(), "aaa": core.always_true()}
+        with pytest.raises(VerificationError) as excinfo:
+            core.AnnotatedNetwork(network, extras, complete)
+        assert "interface annotation given for 2 unknown node(s): 'aaa', 'zzz'" in str(
+            excinfo.value
+        )
+
     def test_annotate_defaults_properties_to_true(self):
         example = build_running_example("none")
         annotated = core.annotate(

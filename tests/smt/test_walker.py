@@ -70,6 +70,18 @@ class TestEvaluate:
         with pytest.raises(TermError):
             evaluate(smt.bool_var("a"), {}, default=False)
 
+    def test_strict_mode_error_names_the_variable(self):
+        with pytest.raises(TermError, match="missing_var"):
+            evaluate(smt.bool_var("missing_var"), {}, default=False)
+
+    def test_defaults_apply_through_nested_structure(self):
+        a, b = smt.bool_var("a"), smt.bool_var("b")
+        x = smt.bv_var("x", 4)
+        # b defaults to False, x to 0: a ∧ (¬b ∨ x = 1) reduces to a.
+        formula = smt.and_(a, smt.or_(smt.not_(b), smt.eq(x, smt.bv_const(1, 4))))
+        assert evaluate(formula, {"a": True}) is True
+        assert evaluate(formula, {"a": False}) is False
+
     def test_values_are_masked_to_width(self):
         x = smt.bv_var("x", 4)
         assert evaluate(x, {"x": 300}) == 300 % 16
