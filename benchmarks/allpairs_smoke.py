@@ -1,0 +1,128 @@
+"""All-pairs quotient smoke check for CI (and a JSON ablation artifact).
+
+Runs every fattree benchmark family at a small pod count in *all-pairs*
+form — routes target a symbolic destination index, so every edge node bakes
+a different ``dest == k`` constant into its conditions — comparing
+``symmetry="off"`` against the destination-quotiented ``symmetry="classes"``
+run.  Asserts the verdicts are byte-identical and writes the ablation
+numbers (quotient vs hash-only class counts, discharged conditions, wall
+times, class-scheduler statistics) as JSON so the CI workflow can upload
+them as an artifact::
+
+    PYTHONPATH=src python benchmarks/allpairs_smoke.py --pods 4 --out allpairs-ablation.json
+
+Exits non-zero on any verdict mismatch or failed check, so a wrong
+destination canonicalization (a permutation that is *not* a symmetry) fails
+the job rather than silently propagating unsound verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro import core
+from repro.core.annotations import AnnotatedNetwork
+from repro.core.symmetry import partition_nodes
+from repro.networks import registry
+from repro.networks.benchmarks import POLICIES
+from repro.smt.incremental import reset_process_solver
+from repro.verify import Modular, verify
+
+MODES = ("off", "classes")
+
+#: Workers requested for the ``classes`` run — more than the quotient's class
+#: count at small pod counts, so the smoke also exercises the adaptive
+#: scheduler's work-stealing split and records its statistics.
+JOBS = 4
+
+
+def _hash_only_classes(annotated: AnnotatedNetwork) -> int:
+    """Class count of the generic hash partition (marker stripped)."""
+    stripped = AnnotatedNetwork(
+        annotated.network,
+        {name: annotated.interface(name) for name in annotated.nodes},
+        {name: annotated.node_property(name) for name in annotated.nodes},
+        minimum_time_width=annotated.minimum_time_width,
+    )
+    return len(partition_nodes(stripped, stripped.nodes))
+
+
+def run_smoke(pods: int) -> tuple[bool, dict]:
+    """Run the smoke comparison; returns (ok, JSON-serialisable payload)."""
+    payload: dict = {"pods": pods, "modes": list(MODES), "jobs": JOBS, "families": {}}
+    ok = True
+    for policy in POLICIES:
+        instance = registry.build(f"fattree/{policy}", pods=pods, all_pairs=True)
+        rows = {}
+        verdicts = {}
+        for mode in MODES:
+            strategy = (
+                Modular(symmetry="off")
+                if mode == "off"
+                else Modular(symmetry="classes", parallel=JOBS)
+            )
+            reset_process_solver()
+            started = time.perf_counter()
+            report = verify(instance.annotated, strategy)
+            elapsed = time.perf_counter() - started
+            reset_process_solver()
+            verdicts[mode] = core.condition_verdicts(report)
+            rows[mode] = {
+                "passed": report.passed,
+                "seconds": round(elapsed, 3),
+                "classes": report.symmetry_classes,
+                "conditions_discharged": report.conditions_discharged,
+                "conditions_propagated": report.conditions_propagated,
+                "scheduler": report.scheduler,
+            }
+        hash_only = _hash_only_classes(instance.annotated)
+        quotient = rows["classes"]["classes"]
+        identical = all(verdicts[mode] == verdicts[MODES[0]] for mode in MODES)
+        family_ok = identical and all(row["passed"] for row in rows.values())
+        ok = ok and family_ok
+        payload["families"][instance.name] = {
+            "policy": policy,
+            "verdicts_identical": identical,
+            "ok": family_ok,
+            "hash_only_classes": hash_only,
+            "quotient_factor": round(hash_only / quotient, 1) if quotient else None,
+            **{mode: rows[mode] for mode in MODES},
+        }
+        status = "ok" if family_ok else "MISMATCH"
+        scheduler = rows["classes"]["scheduler"] or {}
+        print(
+            f"{instance.name:<12} {status:<9} "
+            f"off: {rows['off']['conditions_discharged']} conditions in {rows['off']['seconds']}s; "
+            f"classes: {rows['classes']['conditions_discharged']} in "
+            f"{rows['classes']['seconds']}s "
+            f"({quotient} classes vs {hash_only} hash-only, "
+            f"{scheduler.get('classes_stolen', 0)} stolen)"
+        )
+    payload["ok"] = ok
+    return ok, payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="all-pairs quotient smoke check")
+    parser.add_argument("--pods", type=int, default=4, help="fattree pod count (default: 4)")
+    parser.add_argument("--out", default=None, help="write the ablation JSON to this path")
+    arguments = parser.parse_args(argv)
+
+    ok, payload = run_smoke(arguments.pods)
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {arguments.out}")
+    if not ok:
+        print("all-pairs smoke FAILED: verdicts diverged between modes", file=sys.stderr)
+        return 1
+    print("all-pairs smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,19 @@
 """Record benchmark trajectory points as ``BENCH_*.json`` at the repo root.
 
 Trajectory files are committed alongside the code so successive PRs can see
-whether a headline number moved.  This recorder measures the delta
-re-verification trajectory (``BENCH_delta.json``): cold vs warm wall time,
-the warm reuse rate, and how many conditions a one-node config edit forces
-the delta engine to re-check::
+whether a headline number moved.  Two trajectories are recorded:
 
-    PYTHONPATH=src python benchmarks/record_trajectory.py --pods 8 --out BENCH_delta.json
+* ``--kind delta`` (``BENCH_delta.json``) — the delta re-verification
+  trajectory: cold vs warm wall time, the warm reuse rate, and how many
+  conditions a one-node config edit forces the delta engine to re-check::
+
+      PYTHONPATH=src python benchmarks/record_trajectory.py --pods 8 --out BENCH_delta.json
+
+* ``--kind allpairs`` (``BENCH_allpairs.json``) — the destination-quotient
+  trajectory on the all-pairs Reach benchmark: quotient vs hash-only class
+  counts, discharged conditions, and the off vs quotiented wall times::
+
+      PYTHONPATH=src python benchmarks/record_trajectory.py --kind allpairs --pods 8 --out BENCH_allpairs.json
 
 Wall times are medians over ``--rounds`` runs (fresh store per round for the
 cold number, warmed store for the others) to damp scheduler noise.
@@ -86,19 +93,88 @@ def record_delta_trajectory(pods: int, rounds: int) -> dict:
     }
 
 
+def record_allpairs_trajectory(pods: int, rounds: int) -> dict:
+    """Measure the destination-quotient trajectory on all-pairs Reach.
+
+    Compares ``symmetry="off"`` against the quotiented ``symmetry="classes"``
+    run (medians over ``rounds``), and counts the classes the generic hash
+    partition would have produced with the destination marker stripped — the
+    quotient factor successive PRs should watch.
+    """
+    from repro.core.annotations import AnnotatedNetwork
+    from repro.core.symmetry import partition_nodes
+
+    instance = registry.build("fattree/reach", pods=pods, all_pairs=True)
+    annotated = instance.annotated
+    stripped = AnnotatedNetwork(
+        annotated.network,
+        {name: annotated.interface(name) for name in annotated.nodes},
+        {name: annotated.node_property(name) for name in annotated.nodes},
+        minimum_time_width=annotated.minimum_time_width,
+    )
+    hash_only_classes = len(partition_nodes(stripped, stripped.nodes))
+
+    off_times, quotient_times = [], []
+    off_report = quotient_report = None
+    verdicts_identical = True
+    for _ in range(rounds):
+        off_report, off_s = _timed(annotated, Modular(symmetry="off"))
+        quotient_report, quotient_s = _timed(annotated, Modular(symmetry="classes"))
+        off_times.append(off_s)
+        quotient_times.append(quotient_s)
+        verdicts_identical = verdicts_identical and (
+            condition_verdicts(off_report) == condition_verdicts(quotient_report)
+        )
+
+    def median(values):
+        return round(statistics.median(values), 3)
+
+    return {
+        "benchmark": instance.name,
+        "pods": pods,
+        "nodes": instance.node_count,
+        "rounds": rounds,
+        "off_total_s": median(off_times),
+        "quotient_total_s": median(quotient_times),
+        "quotient_speedup": round(
+            statistics.median(off_times) / statistics.median(quotient_times), 1
+        ),
+        "quotient_classes": quotient_report.symmetry_classes,
+        "hash_only_classes": hash_only_classes,
+        "quotient_factor": round(hash_only_classes / quotient_report.symmetry_classes, 1),
+        "conditions_discharged_off": off_report.conditions_discharged,
+        "conditions_discharged_quotient": quotient_report.conditions_discharged,
+        "verdicts_identical": verdicts_identical,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="record benchmark trajectory JSON")
+    parser.add_argument(
+        "--kind",
+        choices=("delta", "allpairs"),
+        default="delta",
+        help="trajectory to record (default: delta)",
+    )
     parser.add_argument("--pods", type=int, default=8, help="fattree pod count (default: 8)")
     parser.add_argument("--rounds", type=int, default=3, help="timing rounds (default: 3)")
-    parser.add_argument("--out", default="BENCH_delta.json", help="output path (default: BENCH_delta.json)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<kind>.json)",
+    )
     arguments = parser.parse_args(argv)
+    out = arguments.out or f"BENCH_{arguments.kind}.json"
 
-    record = record_delta_trajectory(arguments.pods, arguments.rounds)
-    with open(arguments.out, "w", encoding="utf-8") as handle:
+    if arguments.kind == "allpairs":
+        record = record_allpairs_trajectory(arguments.pods, arguments.rounds)
+    else:
+        record = record_delta_trajectory(arguments.pods, arguments.rounds)
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(json.dumps(record, indent=2, sort_keys=True))
-    print(f"wrote {arguments.out}")
+    print(f"wrote {out}")
     return 0
 
 

@@ -19,7 +19,7 @@ one-shot entry points (:func:`check_modular`, :func:`check_monolithic`,
 verdicts.
 """
 
-from repro.core.annotations import AnnotatedNetwork, annotate
+from repro.core.annotations import AnnotatedNetwork, DestinationSymmetry, annotate
 from repro.core.checker import assert_verified, check_class, check_modular, check_node
 from repro.core.conditions import (
     CONDITION_KINDS,
@@ -28,12 +28,18 @@ from repro.core.conditions import (
     NAMING_SCHEMES,
     SAFETY,
     VerificationCondition,
+    canonical_node_conditions,
     inductive_condition,
     initial_condition,
     node_conditions,
     safety_condition,
 )
-from repro.core.symmetry import SYMMETRY_MODES, SymmetryClass, partition_nodes
+from repro.core.symmetry import (
+    SYMMETRY_MODES,
+    DestinationQuotient,
+    SymmetryClass,
+    partition_nodes,
+)
 from repro.core.counterexample import Counterexample
 from repro.core.monolithic import (
     check_monolithic,
@@ -82,6 +88,7 @@ __all__ = [
     "lift",
     # annotation
     "AnnotatedNetwork",
+    "DestinationSymmetry",
     "annotate",
     # conditions
     "VerificationCondition",
@@ -89,6 +96,7 @@ __all__ = [
     "inductive_condition",
     "safety_condition",
     "node_conditions",
+    "canonical_node_conditions",
     "CONDITION_KINDS",
     "NAMING_SCHEMES",
     "INITIAL",
@@ -97,6 +105,7 @@ __all__ = [
     # symmetry reduction
     "SYMMETRY_MODES",
     "SymmetryClass",
+    "DestinationQuotient",
     "partition_nodes",
     # checking
     "check_node",

@@ -9,6 +9,7 @@ for the logical-time variable.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping
 
 from repro.errors import VerificationError
@@ -23,12 +24,34 @@ AnnotationMap = Mapping[str, TemporalLike] | Callable[[str], TemporalLike]
 SymmetryKey = Callable[[str], Hashable | None]
 
 
+@dataclass(frozen=True)
+class DestinationSymmetry:
+    """Declares that a network is symmetric under destination-index permutation.
+
+    All-pairs benchmarks introduce a symbolic destination index that appears
+    in conditions only through equalities against concrete index constants
+    (``dest == k``) and the range constraint ``dest < size``.  A builder that
+    knows this attaches a marker so :mod:`repro.core.symmetry` may quotient
+    nodes up to a simultaneous permutation of those constants.
+
+    ``variable`` is the symbolic variable's name, ``size`` the number of
+    valid destination indices (the permutation acts on ``0..size-1``).
+    """
+
+    variable: str
+    size: int
+
+
 class AnnotatedNetwork:
     """A network together with its node interfaces and node properties.
 
     ``symmetry_key`` optionally names each node's symmetry class (builders
     that know their topology — e.g. fattree benchmarks — attach one so the
     symmetry-aware checker can skip the generic canonical-form hashing).
+    ``destination_symmetry`` optionally declares invariance under
+    destination-index permutation (all-pairs benchmarks), letting the
+    symmetry layer quotient nodes whose conditions differ only in which
+    concrete destination constants they mention.
     """
 
     def __init__(
@@ -38,12 +61,14 @@ class AnnotatedNetwork:
         properties: AnnotationMap,
         minimum_time_width: int = 2,
         symmetry_key: SymmetryKey | None = None,
+        destination_symmetry: DestinationSymmetry | None = None,
     ) -> None:
         self.network = network
         self._interfaces = self._materialise(interfaces, "interface")
         self._properties = self._materialise(properties, "property")
         self.minimum_time_width = minimum_time_width
         self.symmetry_key = symmetry_key
+        self.destination_symmetry = destination_symmetry
 
     # -- construction helpers -----------------------------------------------------
 
@@ -120,6 +145,7 @@ class AnnotatedNetwork:
             properties=dict(self._properties),
             minimum_time_width=self.minimum_time_width,
             symmetry_key=self.symmetry_key,
+            destination_symmetry=self.destination_symmetry,
         )
 
     def __repr__(self) -> str:

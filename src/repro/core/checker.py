@@ -40,7 +40,12 @@ import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.core.annotations import AnnotatedNetwork
-from repro.core.conditions import CONDITION_KINDS, VerificationCondition, node_conditions
+from repro.core.conditions import (
+    CONDITION_KINDS,
+    VerificationCondition,
+    canonical_node_conditions,
+    node_conditions,
+)
 from repro.core.results import ConditionResult, ModularReport, NodeReport
 from repro.core.symmetry import SymmetryClass, translate_counterexample
 from repro.errors import VerificationError
@@ -158,8 +163,19 @@ def check_class(
     it exercises the scope sharing); with a wrong metadata hint the verdicts
     can diverge, which raises :class:`VerificationError` instead of silently
     propagating an unsound verdict.
+
+    For destination-quotient classes (``symmetry_class.destination`` set)
+    the cached conditions are the *canonical* instance: their evaluation
+    payloads belong to the representative's raw conditions and cannot be
+    trusted under a canonical model, so a failing canonical verdict is
+    discarded and the representative's raw conditions are re-discharged (an
+    equivalid query — same verdicts, genuine counterexample).  Member
+    counterexamples additionally re-concretize the destination index through
+    the class's slot permutation, and every result carries
+    ``quotient="destination"`` provenance.
     """
     representative = symmetry_class.representative
+    quotient = symmetry_class.destination
     solver, owned = _acquire_solver(solver, incremental)
     topology = annotated.network.topology
 
@@ -169,11 +185,32 @@ def check_class(
         if built is None or symmetry_class.conditions_delay != delay:
             # No cached conditions (metadata-hint path), or the cache was
             # built for a different delay than this check requests.
-            built = tuple(node_conditions(annotated, representative, delay=delay, naming="class"))
+            if quotient is not None:
+                built, _ = canonical_node_conditions(annotated, representative, delay=delay)
+                built = tuple(built)
+            else:
+                built = tuple(
+                    node_conditions(annotated, representative, delay=delay, naming="class")
+                )
         results = _discharge(built, conditions, fail_fast, solver)
+        if quotient is not None and any(not result.holds for result in results):
+            # The canonical instance failed; its counterexample payloads are
+            # the representative's raw terms evaluated under a *canonical*
+            # model, which is meaningless.  Re-discharge the raw conditions
+            # (equivalid — identical holds pattern and fail-fast truncation)
+            # for a counterexample in the representative's own coordinates.
+            results = _discharge(
+                tuple(node_conditions(annotated, representative, delay=delay, naming="class")),
+                conditions,
+                fail_fast,
+                solver,
+            )
     except BaseException:
         _recover_solver(solver, owned)
         raise
+    if quotient is not None:
+        for result in results:
+            result.quotient = "destination"
     reports = [
         NodeReport(node=representative, results=results, duration=_time.perf_counter() - started)
     ]
@@ -196,6 +233,11 @@ def check_class(
             )
             continue
         member_started = _time.perf_counter()
+        destination = (
+            None
+            if quotient is None
+            else (quotient.variable, quotient.permutation(representative, member))
+        )
         member_results = [
             ConditionResult(
                 node=member,
@@ -210,9 +252,11 @@ def check_class(
                         member,
                         representative_preds,
                         topology.predecessors(member),
+                        destination=destination,
                     )
                 ),
                 propagated_from=representative,
+                quotient=result.quotient,
             )
             for result in results
         ]

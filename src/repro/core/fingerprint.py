@@ -51,10 +51,13 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.core.annotations import AnnotatedNetwork
 from repro.core.conditions import (
     CONDITION_KINDS,
+    DestinationCanonicalizer,
+    IneligibleDestination,
     VerificationCondition,
     _query_route,
     _query_time,
-    node_conditions,
+    canonical_node_conditions,
+    destination_variable,
 )
 from repro.errors import VerificationError
 from repro.smt.sorts import BitVecSort, BoolSort, Sort
@@ -66,8 +69,13 @@ from repro.symbolic.sets import SymSet
 from repro.symbolic.values import SymEnum
 
 #: Bumped whenever the fingerprint encoding changes, so digests from older
-#: code versions can never collide with current ones.
-FINGERPRINT_VERSION = "fp1"
+#: code versions can never collide with current ones.  ``fp2``: condition
+#: and dependency fingerprints are computed on the destination-canonicalized
+#: form when the network declares a
+#: :class:`~repro.core.annotations.DestinationSymmetry`, so all-pairs nodes
+#: that differ only by destination-index permutation share fingerprints and
+#: delta reuse composes with the destination quotient.
+FINGERPRINT_VERSION = "fp2"
 
 #: Field separator inside one digest's input.  ``\x1f`` (unit separator)
 #: cannot appear in operator tags or sort encodings; payloads are
@@ -158,38 +166,48 @@ def fingerprint_term(term: Term) -> str:
     return _TERM_DIGESTS[term.term_id]
 
 
-def fingerprint_value(value: Any) -> str:
+def fingerprint_value(value: Any, rewrite: Any = None) -> str:
     """The structural digest of any symbolic value (or plain scalar).
 
     Dispatches over the six modelling kinds; composites digest their shape
     metadata (record type and field names, option-ness, set universe) along
     with their component terms, so two values digest equally iff they are
-    structurally the same symbolic value.
+    structurally the same symbolic value.  ``rewrite`` optionally maps each
+    component term before digesting (the dependency fingerprint passes the
+    destination canonicalizer here so all-pairs route payloads digest
+    permutation-stably).
     """
+    def term_digest(term: Term) -> bytes:
+        if rewrite is not None:
+            term = rewrite(term)
+        return fingerprint_term(term).encode("ascii")
+
     if isinstance(value, (SymBool, SymBV)):
-        return _digest((b"t", fingerprint_term(value.term).encode("ascii")))
+        return _digest((b"t", term_digest(value.term)))
     if isinstance(value, SymEnum):
         return _digest(
             (
                 b"enum",
                 _encode_payload(value.enum_type.name),
                 _encode_payload(",".join(value.enum_type.members)),
-                fingerprint_term(value.index.term).encode("ascii"),
+                term_digest(value.index.term),
             )
         )
     if isinstance(value, SymOption):
         return _digest(
             (
                 b"opt",
-                fingerprint_value(value.is_some).encode("ascii"),
-                fingerprint_value(value.payload).encode("ascii"),
+                fingerprint_value(value.is_some, rewrite).encode("ascii"),
+                fingerprint_value(value.payload, rewrite).encode("ascii"),
             )
         )
     if isinstance(value, SymSet):
         return _digest(
             (b"set",)
             + tuple(
-                _encode_payload(name) + _SEP + fingerprint_value(value.contains(name)).encode("ascii")
+                _encode_payload(name)
+                + _SEP
+                + fingerprint_value(value.contains(name), rewrite).encode("ascii")
                 for name in value.universe
             )
         )
@@ -197,7 +215,7 @@ def fingerprint_value(value: Any) -> str:
         return _digest(
             (b"rec", _encode_payload(value.type_name))
             + tuple(
-                _encode_payload(name) + _SEP + fingerprint_value(field).encode("ascii")
+                _encode_payload(name) + _SEP + fingerprint_value(field, rewrite).encode("ascii")
                 for name, field in value
             )
         )
@@ -234,15 +252,14 @@ def node_condition_fingerprints(
     """Per-kind canonical condition fingerprints for one node.
 
     Builds the node's conditions in class-canonical form (cheap: terms are
-    hash-consed and their digests memoised) and digests each requested kind.
-    These are the keys the delta store's verdict map is indexed by.
+    hash-consed and their digests memoised) — destination-canonicalized when
+    the network declares a destination symmetry, so permuted all-pairs nodes
+    share condition fingerprints — and digests each requested kind.  These
+    are the keys the delta store's verdict map is indexed by.
     """
     requested = set(conditions)
-    return {
-        vc.kind: condition_fingerprint(vc)
-        for vc in node_conditions(annotated, node, delay=delay, naming="class")
-        if vc.kind in requested
-    }
+    node_vcs, _ = canonical_node_conditions(annotated, node, delay=delay)
+    return {vc.kind: condition_fingerprint(vc) for vc in node_vcs if vc.kind in requested}
 
 
 def _network_level_parts(annotated: AnnotatedNetwork, delay: int) -> tuple[bytes, ...]:
@@ -277,8 +294,37 @@ def node_dependency_fingerprint(
     constraints and the time widths.  Node identity is erased (positional
     naming), so isomorphic nodes share dependency fingerprints — the same
     equivalence the symmetry layer computes, obtained here without an extra
-    mechanism.
+    mechanism.  Under a declared destination symmetry the digested terms are
+    additionally destination-canonicalized (falling back to raw terms when
+    the destination is used outside the eligible shapes), so the dependency
+    equivalence matches the destination quotient too.
     """
+    destination = destination_variable(annotated)
+    if destination is not None:
+        canonicalizer = DestinationCanonicalizer(
+            destination, annotated.destination_symmetry.size
+        )
+        try:
+            return _dependency_digest(
+                annotated, node, delay, conditions, canonicalizer.rewrite_term
+            )
+        except IneligibleDestination:
+            pass
+    return _dependency_digest(annotated, node, delay, conditions, None)
+
+
+def _dependency_digest(
+    annotated: AnnotatedNetwork,
+    node: str,
+    delay: int,
+    conditions: Sequence[str],
+    rewrite: Any,
+) -> str:
+    def term_digest(term: Term) -> bytes:
+        if rewrite is not None:
+            term = rewrite(term)
+        return fingerprint_term(term).encode("ascii")
+
     network = annotated.network
     width = annotated.time_width(delay)
     base_width = annotated.time_width()
@@ -295,15 +341,13 @@ def node_dependency_fingerprint(
     # The node's own annotation, applied extensionally at both widths the
     # conditions use (initial/safety run at the base width, inductive at the
     # delay-extended width).
-    parts.append(fingerprint_term(interface(own_route, base_time).term).encode("ascii"))
-    parts.append(fingerprint_term(interface(own_route, time_variable).term).encode("ascii"))
-    parts.append(fingerprint_term(node_property(own_route, base_time).term).encode("ascii"))
+    parts.append(term_digest(interface(own_route, base_time).term))
+    parts.append(term_digest(interface(own_route, time_variable).term))
+    parts.append(term_digest(node_property(own_route, base_time).term))
     # The policy: initial route, route well-formedness, and the route update
     # over canonical per-position neighbour routes.
-    parts.append(fingerprint_value(network.initial_route(node)).encode("ascii"))
-    parts.append(
-        fingerprint_term(network.route_shape.constraint(own_route).term).encode("ascii")
-    )
+    parts.append(fingerprint_value(network.initial_route(node), rewrite).encode("ascii"))
+    parts.append(term_digest(network.route_shape.constraint(own_route).term))
     neighbor_routes: dict[str, Any] = {}
     for position, neighbor in enumerate(network.topology.predecessors(node)):
         route = _query_route(network, neighbor, naming="class", position=position)
@@ -311,12 +355,10 @@ def node_dependency_fingerprint(
         # The neighbour's interface is what the inductive condition assumes;
         # its *name* is deliberately not part of the digest (positional
         # canonicalization, exactly as in the conditions themselves).
-        parts.append(
-            fingerprint_term(
-                annotated.interface(neighbor)(route, time_variable).term
-            ).encode("ascii")
-        )
-    parts.append(fingerprint_value(network.updated_route(node, neighbor_routes)).encode("ascii"))
+        parts.append(term_digest(annotated.interface(neighbor)(route, time_variable).term))
+    parts.append(
+        fingerprint_value(network.updated_route(node, neighbor_routes), rewrite).encode("ascii")
+    )
     return _digest(parts)
 
 

@@ -34,6 +34,13 @@ class ConditionResult:
     #: passes: failing conditions are re-discharged so counterexamples are
     #: fresh.
     reused: bool = False
+    #: Symmetry provenance: the quotient the verdict travelled through.
+    #: ``"destination"`` when the condition was discharged as (or propagated
+    #: from) a destination-permutation canonical instance rather than the
+    #: node's literal condition; ``None`` otherwise.  See
+    #: :class:`repro.core.symmetry.DestinationQuotient` and
+    #: ``docs/DIAGNOSTICS.md``.
+    quotient: str | None = None
 
     def __bool__(self) -> bool:
         return self.holds
@@ -124,6 +131,12 @@ class ModularReport:
     #: Empty when the run did not lint.  Lint diagnostics never change the
     #: verdict — ``lint="strict"`` raises before a report exists.
     diagnostics: list = field(default_factory=list)
+    #: Adaptive-scheduler statistics from the parallel dispatcher (``None``
+    #: for sequential runs or when symmetry was off): ``workers`` (pool
+    #: size), ``classes_stolen`` (oversized classes split across workers)
+    #: and ``window`` (histogram: prefetch-window size → number of
+    #: dispatches made at that window).  See :mod:`repro.core.parallel`.
+    scheduler: dict | None = None
 
     @property
     def passed(self) -> bool:
@@ -157,6 +170,7 @@ class ModularReport:
             "conditions_recheck": self.conditions_recheck,
             "delta": self.delta,
             "stopped_early": self.stopped_early,
+            "scheduler": self.scheduler,
             "median_node_time_s": self.median_node_time,
             "p99_node_time_s": self.p99_node_time,
             "max_node_time_s": self.max_node_time,
@@ -173,6 +187,7 @@ class ModularReport:
                             "holds": result.holds,
                             "propagated_from": result.propagated_from,
                             "reused": result.reused,
+                            "quotient": result.quotient,
                         }
                         for result in report.results
                     ],
@@ -267,6 +282,11 @@ class ModularReport:
                 f"; symmetry={self.symmetry}: {self.symmetry_classes} classes, "
                 f"{self.conditions_discharged}/{self.conditions_checked} conditions discharged"
             )
+        if self.scheduler is not None:
+            text += (
+                f"; scheduler: {self.scheduler.get('classes_stolen', 0)} classes stolen, "
+                f"windows {self.scheduler.get('window', {})}"
+            )
         if self.delta != "off":
             text += (
                 f"; delta={self.delta}: {self.conditions_reused}/{self.conditions_checked} "
@@ -343,6 +363,7 @@ def merge_reports(
     stopped_early: bool = False,
     conditions_skipped: int = 0,
     delta: str = "off",
+    scheduler: dict | None = None,
 ) -> ModularReport:
     """Assemble a :class:`ModularReport` from per-node reports.
 
@@ -360,6 +381,7 @@ def merge_reports(
         stopped_early=stopped_early,
         conditions_skipped=conditions_skipped,
         delta=delta,
+        scheduler=scheduler,
     )
 
 

@@ -30,13 +30,30 @@ Two partitioning strategies, in order of preference:
   discharge literally the same query).  Networks with no symmetry cleanly
   degrade to singleton classes, i.e. per-node checking.
 
+* **Destination quotient.**  All-pairs networks additionally declare a
+  :class:`~repro.core.annotations.DestinationSymmetry` marker; class-named
+  conditions are then canonicalized *up to simultaneous destination-index
+  permutation* (:func:`repro.core.conditions.canonical_node_conditions`)
+  before hashing, so two edge nodes that differ only in *which* destination
+  constants their conditions mention share one class.  Each class records a
+  :class:`DestinationQuotient` with the per-member slot witnesses; verdicts
+  still propagate as term-identity of the canonical forms, and
+  counterexamples re-concretize the destination through the slot
+  permutation (:func:`destination_permutation`).
+
 Soundness.  Under canonical hashing, equal keys mean equal terms, so the
-representative's verdict *is* every member's verdict.  Under metadata hints,
-soundness rests on the hint being a refinement of true condition isomorphism;
-``partition_nodes`` cross-checks in-degrees (a cheap necessary condition) and
-``spot-check`` mode samples the rest.  Counterexamples found at a
-representative are translated to each member by the positional neighbour
-correspondence (``member.predecessors[i] ↔ representative.predecessors[i]``).
+representative's verdict *is* every member's verdict.  Under the destination
+quotient, equal keys mean the members' raw conditions are each equivalid
+with the *same* canonical instance (they are its images under bijections of
+the destination index that preserve the range constraint), hence equivalid
+with each other.  Under metadata hints, soundness rests on the hint being a
+refinement of true condition isomorphism; ``partition_nodes`` cross-checks
+in-degrees (a cheap necessary condition) and ``spot-check`` mode samples the
+rest.  Counterexamples found at a representative are translated to each
+member by the positional neighbour correspondence
+(``member.predecessors[i] ↔ representative.predecessors[i]``), composed —
+for destination-quotient classes — with the member's destination
+re-concretization.
 """
 
 from __future__ import annotations
@@ -45,12 +62,61 @@ from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
 from repro.core.annotations import AnnotatedNetwork
-from repro.core.conditions import CONDITION_KINDS, VerificationCondition, node_conditions
-from repro.core.counterexample import Counterexample
+from repro.core.conditions import (
+    CONDITION_KINDS,
+    VerificationCondition,
+    canonical_node_conditions,
+    node_conditions,
+)
+from repro.core.counterexample import Counterexample, reindex_destination
 from repro.errors import VerificationError
 
 #: The symmetry modes accepted by ``check_modular``.
 SYMMETRY_MODES = ("off", "classes", "spot-check")
+
+
+@dataclass(frozen=True)
+class DestinationQuotient:
+    """How a destination-quotient class maps canonical slots back to members.
+
+    ``witnesses[node][i]`` is the concrete destination constant that
+    canonical permutation slot ``i`` abstracts in ``node``'s raw conditions.
+    ``variable`` names the symbolic destination variable and ``size`` the
+    number of valid indices (the permutations act on ``0..size-1``).
+    """
+
+    variable: str
+    size: int
+    witnesses: dict[str, tuple[int, ...]]
+
+    def permutation(self, representative: str, member: str) -> dict[int, int]:
+        """The index map re-concretizing the representative's destination for ``member``."""
+        return destination_permutation(
+            self.witnesses[representative], self.witnesses[member], self.size
+        )
+
+
+def destination_permutation(
+    source_witness: Sequence[int], target_witness: Sequence[int], size: int
+) -> dict[int, int]:
+    """The total map on ``[0, size)`` sending source constants to target constants.
+
+    Slot ``i``'s source constant maps to slot ``i``'s target constant; the
+    remaining indices map across in ascending order (any range-preserving
+    extension works — the unmatched indices never appear in either node's
+    conditions — but a canonical choice keeps translated counterexamples
+    deterministic).  This is π_target ∘ π_source⁻¹ restricted to the range.
+    """
+    if len(source_witness) != len(target_witness):
+        raise VerificationError(
+            f"destination witnesses disagree in length ({len(source_witness)} vs "
+            f"{len(target_witness)}); the symmetry class is invalid"
+        )
+    mapping = dict(zip(source_witness, target_witness))
+    rest_source = sorted(set(range(size)) - set(source_witness))
+    rest_target = sorted(set(range(size)) - set(target_witness))
+    mapping.update(zip(rest_source, rest_target))
+    return mapping
 
 
 @dataclass
@@ -74,6 +140,10 @@ class SymmetryClass:
     #: rebuilds them when asked to check under a different delay.
     conditions_delay: int = 0
     spot_member: str | None = field(default=None, compare=False)
+    #: Set when the class was formed up to destination-index permutation:
+    #: the cached ``conditions`` are the *canonical* instance and verdicts
+    #: re-concretize through the quotient's per-member witnesses.
+    destination: DestinationQuotient | None = None
 
     @property
     def representative(self) -> str:
@@ -91,10 +161,16 @@ def partition_nodes(
 ) -> list[SymmetryClass]:
     """Partition ``nodes`` into symmetry classes (deterministic order).
 
-    Uses the annotated network's ``symmetry_key`` hint when present,
-    otherwise the generic canonical-form hash.  Classes are returned in
-    first-member order; members keep the order of ``nodes``.
+    Uses the destination-permutation quotient when the network declares a
+    :class:`~repro.core.annotations.DestinationSymmetry`, else the annotated
+    network's ``symmetry_key`` hint when present, otherwise the generic
+    canonical-form hash.  Classes are returned in first-member order;
+    members keep the order of ``nodes``.
     """
+    if annotated.destination_symmetry is not None:
+        return _partition_by_destination_quotient(
+            annotated, nodes, delay=delay, conditions=conditions
+        )
     if annotated.symmetry_key is not None:
         return _partition_by_hint(annotated, nodes)
     return _partition_by_canonical_hash(annotated, nodes, delay=delay, conditions=conditions)
@@ -164,18 +240,72 @@ def _partition_by_canonical_hash(
     ]
 
 
+def _partition_by_destination_quotient(
+    annotated: AnnotatedNetwork,
+    nodes: Sequence[str],
+    delay: int,
+    conditions: Sequence[str],
+) -> list[SymmetryClass]:
+    """Canonical-form hashing up to destination-index permutation.
+
+    Like :func:`_partition_by_canonical_hash`, but the hashed conditions are
+    the destination-canonicalized ones.  An eligibility flag keeps nodes
+    whose conditions fell back to their raw form (destination used outside
+    the eligible atom shapes) from ever sharing a class with canonicalized
+    ones — equal raw terms still merge, which is the plain hash quotient.
+    """
+    marker = annotated.destination_symmetry
+    assert marker is not None
+    requested = set(conditions)
+    groups: dict[Hashable, list[str]] = {}
+    built: dict[Hashable, tuple[VerificationCondition, ...]] = {}
+    witnesses: dict[Hashable, dict[str, tuple[int, ...]]] = {}
+    for node in nodes:
+        node_vcs, witness = canonical_node_conditions(annotated, node, delay=delay)
+        key = (witness is not None,) + tuple(
+            (vc.kind, vc.assumptions.term.term_id, vc.goal.term.term_id)
+            for vc in node_vcs
+            if vc.kind in requested
+        )
+        if key not in groups:
+            built[key] = tuple(node_vcs)
+        groups.setdefault(key, []).append(node)
+        if witness is not None:
+            witnesses.setdefault(key, {})[node] = witness
+    return [
+        SymmetryClass(
+            key=key,
+            members=tuple(members),
+            conditions=built[key],
+            conditions_delay=delay,
+            destination=(
+                DestinationQuotient(
+                    variable=marker.variable, size=marker.size, witnesses=witnesses[key]
+                )
+                if key in witnesses
+                else None
+            ),
+        )
+        for key, members in groups.items()
+    ]
+
+
 def translate_counterexample(
     example: Counterexample,
     member: str,
     representative_predecessors: Sequence[str],
     member_predecessors: Sequence[str],
+    destination: tuple[str, dict[int, int]] | None = None,
 ) -> Counterexample:
     """Rename a representative's counterexample for a class member.
 
     The symmetry is the positional correspondence between predecessor lists,
     so the route sent by the representative's ``i``-th neighbour becomes the
     route sent by the member's ``i``-th neighbour; times, the node's own
-    route and the network's symbolic values carry over unchanged.
+    route and the network's symbolic values carry over unchanged.  For
+    destination-quotient classes, ``destination`` supplies the variable name
+    and index map (:meth:`DestinationQuotient.permutation`) re-concretizing
+    the destination value for the member.
     """
     if len(representative_predecessors) != len(member_predecessors):
         raise VerificationError(
@@ -184,7 +314,7 @@ def translate_counterexample(
             f"{len(member_predecessors)}; the symmetry class is invalid"
         )
     rename = dict(zip(representative_predecessors, member_predecessors))
-    return Counterexample(
+    translated = Counterexample(
         node=member,
         condition=example.condition,
         time=example.time,
@@ -195,3 +325,7 @@ def translate_counterexample(
         route=example.route,
         symbolics=example.symbolics,
     )
+    if destination is not None:
+        variable, mapping = destination
+        translated = reindex_destination(translated, variable, mapping)
+    return translated

@@ -227,6 +227,19 @@ def _observer(arguments: argparse.Namespace, modular: Modular):
 
 
 def _emit(arguments: argparse.Namespace, results: list[ExperimentResult]) -> None:
+    if getattr(arguments, "progress", False):
+        # stop_on_failure epilogue: --progress streams verdicts as they
+        # arrive, so a run the session reaped early must say so explicitly
+        # (the stream simply ends otherwise) along with how many conditions
+        # never received a verdict.
+        for result in results:
+            report = result.modular
+            if report is not None and report.stopped_early:
+                print(
+                    f"  {result.benchmark}: stopped early on first failure "
+                    f"({report.conditions_skipped} conditions skipped)",
+                    file=sys.stderr,
+                )
     if getattr(arguments, "stats", False):
         print()
         print(symmetry_table(results))

@@ -87,6 +87,8 @@ class ExperimentResult:
             "tp_delta": None if self.modular is None else self.modular.delta,
             "tp_reused": None if self.modular is None else self.modular.conditions_reused,
             "tp_recheck": None if self.modular is None else self.modular.conditions_recheck,
+            "tp_stopped": None if self.modular is None else self.modular.stopped_early,
+            "tp_skipped": None if self.modular is None else self.modular.conditions_skipped,
             "ms_total_s": _rounded(self.monolithic_wall_time),
             "ms_outcome": self._monolithic_outcome(),
         }

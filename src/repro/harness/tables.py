@@ -64,7 +64,13 @@ def scaling_table(results: Sequence[ExperimentResult]) -> str:
 
 
 def figure14_table(results: Sequence[ExperimentResult]) -> str:
-    """One Figure 14 panel: Tp total / median / p99 and Ms total per size."""
+    """One Figure 14 panel: Tp total / median / p99 and Ms total per size.
+
+    ``Tp stopped``/``Tp skipped`` surface run-level ``stop_on_failure``: a
+    run that halted after the first failing batch shows ``yes`` and the
+    number of conditions that never received a verdict, so a partially
+    verified point cannot be misread as a complete one.
+    """
     headers = (
         "benchmark",
         "pods",
@@ -73,6 +79,8 @@ def figure14_table(results: Sequence[ExperimentResult]) -> str:
         "Tp median [s]",
         "Tp p99 [s]",
         "Tp pass",
+        "Tp stopped",
+        "Tp skipped",
         "Ms total [s]",
         "Ms outcome",
     )
@@ -88,6 +96,8 @@ def figure14_table(results: Sequence[ExperimentResult]) -> str:
                 row["tp_median_s"],
                 row["tp_p99_s"],
                 row["tp_pass"],
+                row["tp_stopped"],
+                row["tp_skipped"],
                 row["ms_total_s"],
                 row["ms_outcome"],
             )
@@ -132,6 +142,9 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
     ``propagated`` verdicts copied from a class representative this run, and
     ``reused`` verdicts supplied by the delta store (``--delta reuse``)
     without any work this run; the three partition ``tp_conditions``.
+    ``skipped`` counts conditions left without any verdict because
+    run-level ``stop_on_failure`` halted the point early (0 otherwise) —
+    it sits outside that partition.
     """
     headers = (
         "benchmark",
@@ -142,6 +155,7 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
         "propagated",
         "delta",
         "reused",
+        "skipped",
         "Tp total [s]",
     )
     rows = []
@@ -161,6 +175,7 @@ def symmetry_table(results: Sequence[ExperimentResult]) -> str:
                 propagated,
                 row["tp_delta"],
                 reused,
+                row["tp_skipped"],
                 row["tp_total_s"],
             )
         )

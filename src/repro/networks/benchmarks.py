@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 from repro.core import (
     AnnotatedNetwork,
+    DestinationSymmetry,
     TemporalPredicate,
     always_true,
     finally_,
@@ -201,6 +202,11 @@ def _symbolic_adjacency(
     return any_of(matches)
 
 
+def _ap_symmetry(fattree: Fattree) -> DestinationSymmetry:
+    """The destination-permutation marker shared by every ``Ap`` builder."""
+    return DestinationSymmetry(variable="dest", size=len(fattree.edge_nodes))
+
+
 def _standard_annotated(
     fattree: Fattree,
     family: BgpRouteFamily,
@@ -214,9 +220,18 @@ def _standard_annotated(
     # destination, is the destination), so the symmetry-aware checker can
     # partition nodes without hashing their conditions.  All-pairs variants
     # bake per-node destination-index constants into every interface, so no
-    # two nodes are isomorphic — they use the generic canonical-hash path.
+    # two nodes are isomorphic term-for-term — they carry a
+    # DestinationSymmetry marker instead, and the symmetry layer quotients
+    # them up to simultaneous destination-index permutation.
     symmetry_key = None if destination is None else fattree_symmetry_key(fattree, destination)
-    return AnnotatedNetwork(network, interfaces, properties, symmetry_key=symmetry_key)
+    destination_symmetry = _ap_symmetry(fattree) if destination is None else None
+    return AnnotatedNetwork(
+        network,
+        interfaces,
+        properties,
+        symmetry_key=symmetry_key,
+        destination_symmetry=destination_symmetry,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -632,7 +647,9 @@ def build_hijack(pods: int, all_pairs: bool = False, widths: dict[str, int] | No
             distance_of, globally(internal_route), max_witness=FATTREE_DIAMETER
         ).intersect(globally(no_hijack))
     interfaces[HIJACKER] = always_true()
-    annotated = AnnotatedNetwork(network, interfaces, properties)
+    annotated = AnnotatedNetwork(
+        network, interfaces, properties, destination_symmetry=_ap_symmetry(fattree)
+    )
     return FattreeBenchmark("ApHijack", "hijack", True, fattree, family, annotated, None)
 
 

@@ -485,6 +485,7 @@ def modular_events(
     class_count: int | None = None
     cache_before: dict[str, int] | None = None
     cache_delta: dict[str, int] | None = None
+    scheduler_stats = None
     stopped_early = False
     reports = []
 
@@ -599,11 +600,16 @@ def modular_events(
                 classes = recheck_classes
             if strategy.parallel > 1:
                 if classes:
-                    from repro.core.parallel import iter_class_batches
+                    from repro.core.parallel import SchedulerStats, iter_class_batches
 
+                    scheduler_stats = SchedulerStats()
                     fresh, cache_delta, stopped_early = yield from _consume_batches(
                         iter_class_batches(
-                            annotated, classes, jobs=strategy.parallel, **options
+                            annotated,
+                            classes,
+                            jobs=strategy.parallel,
+                            stats=scheduler_stats,
+                            **options,
                         ),
                         strategy,
                     )
@@ -660,6 +666,9 @@ def modular_events(
             stopped_early=stopped_early,
             conditions_skipped=conditions_skipped,
             delta=strategy.delta,
+            scheduler=(
+                scheduler_stats.as_dict() if scheduler_stats is not None else None
+            ),
         )
     )
 

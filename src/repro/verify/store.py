@@ -47,7 +47,10 @@ from typing import Mapping, Sequence
 
 #: Format version; bump on any incompatible schema change.  Loaders treat a
 #: mismatch as "no store" (full run), never attempt migration in place.
-STORE_VERSION = 1
+#: Version 2: fingerprints moved to the destination-canonicalized ``fp2``
+#: encoding (see :mod:`repro.core.fingerprint`), so ``fp1`` stores must not
+#: be reused against them.
+STORE_VERSION = 2
 
 #: Directory the session drops stores into when no explicit path is given.
 DEFAULT_STORE_DIR = ".timepiece-delta"
